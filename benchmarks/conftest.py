@@ -1,0 +1,39 @@
+"""Benchmark harness conventions.
+
+Every benchmark regenerates one of the paper's tables or figures at
+near-paper scale, asserts the paper-shape band checks, records the
+measured values in ``benchmark.extra_info`` (so they land in
+pytest-benchmark's JSON output) and writes the full report to
+``benchmarks/results/<name>.txt``.
+
+The *simulated* latencies are the scientific output; the wall-clock time
+pytest-benchmark measures is merely the harness throughput.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_report(benchmark):
+    """Save an ExperimentReport and assert all of its band checks."""
+
+    def _record(report):
+        from repro.experiments.export import report_to_json
+
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = report.experiment_id.replace("/", "_")
+        (RESULTS_DIR / f"{name}.txt").write_text(report.format() + "\n")
+        (RESULTS_DIR / f"{name}.json").write_text(report_to_json(report) + "\n")
+        for key, value in report.derived.items():
+            benchmark.extra_info[key] = round(value, 4)
+        failed = report.failed_checks()
+        assert not failed, "paper-shape checks failed:\n" + "\n".join(
+            check.format() for check in failed
+        )
+        return report
+
+    return _record

@@ -1,0 +1,50 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+A1 preheat — the §IV-C rationale for ``sgx.preheat_enclave=true``.
+A2 exitless — the §V-B7 optimization left off for production safety.
+A3 HMEE backends — SGX vs SEV/TDX-style secure VM vs plain container.
+A4 user-level TCP — mTCP/DPDK inside the enclave (§V-B7).
+"""
+
+from repro.experiments.ablations import (
+    exitless_ablation,
+    hmee_backend_comparison,
+    preheat_ablation,
+    userlevel_tcp_ablation,
+)
+
+
+def test_bench_ablation_preheat(benchmark, record_report):
+    report = benchmark.pedantic(
+        preheat_ablation, kwargs={"registrations": 40}, rounds=1, iterations=1
+    )
+    record_report(report)
+    print()
+    print(report.format())
+
+
+def test_bench_ablation_exitless(benchmark, record_report):
+    report = benchmark.pedantic(
+        exitless_ablation, kwargs={"registrations": 80}, rounds=1, iterations=1
+    )
+    record_report(report)
+    print()
+    print(report.format())
+
+
+def test_bench_ablation_hmee_backends(benchmark, record_report):
+    report = benchmark.pedantic(
+        hmee_backend_comparison, kwargs={"registrations": 80}, rounds=1, iterations=1
+    )
+    record_report(report)
+    print()
+    print(report.format())
+
+
+def test_bench_ablation_userlevel_tcp(benchmark, record_report):
+    report = benchmark.pedantic(
+        userlevel_tcp_ablation, kwargs={"requests": 150}, rounds=1, iterations=1
+    )
+    record_report(report)
+    print()
+    print(report.format())

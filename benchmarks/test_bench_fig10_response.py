@@ -1,0 +1,28 @@
+"""E4 / Fig 10 + Table II (R): stable and initial response times.
+
+Paper: stable SGX response is 2.2–2.9x the container baseline; the very
+first response after deployment is ≈18–21x the stable one (lazy
+driver/network-stack loading inside the enclave).
+"""
+
+from repro.experiments.figures import figure10_response_time
+
+REGISTRATIONS = 250  # paper: 500
+
+
+def test_bench_fig10_response_time(benchmark, record_report):
+    report = benchmark.pedantic(
+        figure10_response_time,
+        kwargs={"registrations": REGISTRATIONS},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(report)
+    print()
+    print(report.format())
+    for name in ("eudm", "eausf", "eamf"):
+        print(
+            f"  {name}: R_S x{report.derived[f'{name}_R_ratio']:.2f}, "
+            f"R_I {report.derived[f'{name}_R_initial_ms']:.2f} ms "
+            f"({report.derived[f'{name}_Ri_over_Rs']:.1f}x stable)"
+        )

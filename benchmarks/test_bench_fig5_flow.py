@@ -1,0 +1,23 @@
+"""Fig 5: the modified 5G-AKA message flow, verified exchange by exchange.
+
+Asserts both structural properties of the paper's design: the offload
+exchanges occur exactly once in Fig 5's order, and each P-AKA module
+communicates only with its parent VNF (§IV-B's topology decision).
+"""
+
+from repro.paka.deploy import IsolationMode
+from repro.paka.flow import format_flow, verify_figure5
+from repro.testbed import Testbed, TestbedConfig
+
+
+def test_bench_fig5_message_flow(benchmark):
+    def run():
+        testbed = Testbed.build(TestbedConfig(isolation=IsolationMode.SGX, seed=55))
+        verdict = verify_figure5(testbed)
+        return testbed, verdict
+
+    testbed, verdict = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert verdict.conforms, verdict.violations
+    print()
+    print("Fig 5 — recorded SBI exchange ladder:")
+    print(format_flow(verdict.observed, testbed))

@@ -1,0 +1,22 @@
+"""E1 / Fig 7: enclave load time of the P-AKA modules.
+
+Paper: each module takes ≈1 minute (0.955–0.99 min) to become
+operational; eUDM slowest.  Regenerates the three box distributions.
+"""
+
+from repro.experiments.figures import figure7_enclave_load_time
+
+ITERATIONS = 60  # paper: 500; the distribution stabilises far earlier
+
+
+def test_bench_fig7_enclave_load_time(benchmark, record_report):
+    report = benchmark.pedantic(
+        figure7_enclave_load_time,
+        kwargs={"iterations": ITERATIONS},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(report)
+    # Print the figure's series (minutes per module).
+    print()
+    print(report.format())

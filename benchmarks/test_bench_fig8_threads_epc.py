@@ -1,0 +1,35 @@
+"""E2 / Fig 8: effect of enclave threads and EPC size on eUDM P-AKA.
+
+Paper findings: thread count beyond 4 changes nothing; 8 GB EPC is
+slightly slower with a wider IQR; non-SGX is fastest; below 4 threads /
+512 MB the module behaves inconsistently.
+"""
+
+from repro.experiments.sweeps import figure8_threads_epc_sweep, undersized_epc_experiment
+
+REGISTRATIONS = 150
+
+
+def test_bench_fig8_threads_and_epc(benchmark, record_report):
+    report = benchmark.pedantic(
+        figure8_threads_epc_sweep,
+        kwargs={"registrations": REGISTRATIONS},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(report)
+    print()
+    print(report.format())
+
+
+def test_bench_fig8_undersized_epc(benchmark, record_report):
+    """The below-512M 'inconsistent behaviour' regime (ablation)."""
+    report = benchmark.pedantic(
+        undersized_epc_experiment,
+        kwargs={"registrations": 80},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(report)
+    print()
+    print(report.format())

@@ -1,0 +1,27 @@
+"""E3 / Fig 9 + Table II (L_F, L_T): functional and total latency.
+
+Paper: SGX incurs 1.2–1.5x on L_F and 1.86–2.43x on L_T relative to the
+unprotected container deployment, with eUDM highest in absolute terms.
+"""
+
+from repro.experiments.figures import figure9_functional_total_latency
+
+REGISTRATIONS = 250  # paper: 500
+
+
+def test_bench_fig9_functional_and_total_latency(benchmark, record_report):
+    report = benchmark.pedantic(
+        figure9_functional_total_latency,
+        kwargs={"registrations": REGISTRATIONS},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(report)
+    print()
+    print(report.format())
+    # The headline Table II ratios.
+    for name in ("eudm", "eausf", "eamf"):
+        print(
+            f"  {name}: L_F x{report.derived[f'{name}_LF_ratio']:.2f} "
+            f"L_T x{report.derived[f'{name}_LT_ratio']:.2f}"
+        )

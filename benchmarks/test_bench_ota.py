@@ -1,0 +1,16 @@
+"""E7 / Fig 11 + Table IV: the OTA feasibility test.
+
+Paper: a OnePlus 8 on the test PLMN 00101 registers through the
+SGX-isolated AKA functions and establishes a data session; custom
+MCC/MNC are never detected; the wrong OS build cannot connect
+end-to-end.
+"""
+
+from repro.experiments.figures import figure11_ota_feasibility
+
+
+def test_bench_ota_feasibility(benchmark, record_report):
+    report = benchmark.pedantic(figure11_ota_feasibility, rounds=1, iterations=1)
+    record_report(report)
+    print()
+    print(report.format())

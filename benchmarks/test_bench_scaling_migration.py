@@ -1,0 +1,31 @@
+"""A5/A6: horizontal scaling and slice migration.
+
+A5 — §V-B7's horizontal-scaling claim, measured: capacity grows linearly
+with replica count until the physical EPC is oversubscribed.
+A6 — §V-B1's migration cost: the ~minute GSC enclave load is the service
+gap when a slice moves hosts; sealed data stays behind by design.
+"""
+
+from repro.experiments.migration import migration_experiment, sealed_data_does_not_migrate
+from repro.experiments.scaling import horizontal_scaling_experiment
+
+
+def test_bench_horizontal_scaling(benchmark, record_report):
+    report = benchmark.pedantic(
+        horizontal_scaling_experiment,
+        kwargs={"requests_per_replica": 40},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(report)
+    print()
+    print(report.format())
+
+
+def test_bench_slice_migration(benchmark, record_report):
+    report = benchmark.pedantic(migration_experiment, rounds=1, iterations=1)
+    record_report(report)
+    assert sealed_data_does_not_migrate()
+    print()
+    print(report.format())
+    print("  sealed data is platform-bound: re-provisioning required on migration")

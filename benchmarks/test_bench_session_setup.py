@@ -1,0 +1,27 @@
+"""E6 / Table II discussion: end-to-end session setup and the SGX share.
+
+Paper: 62.38 ms end-to-end with SGX contributing 3.48 ms (5.58 %).  The
+reproduction asserts the same shape: ≈60 ms total, SGX a small
+single-digit-percent fraction.
+"""
+
+from repro.experiments.session_setup import session_setup_experiment
+
+REGISTRATIONS = 80
+
+
+def test_bench_session_setup(benchmark, record_report):
+    report = benchmark.pedantic(
+        session_setup_experiment,
+        kwargs={"registrations": REGISTRATIONS},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(report)
+    print()
+    print(report.format())
+    print(
+        f"  setup {report.derived['sgx_setup_ms']:.2f} ms, SGX adds "
+        f"{report.derived['sgx_added_ms']:.2f} ms "
+        f"({report.derived['sgx_share_percent']:.2f} %)"
+    )

@@ -1,0 +1,10 @@
+"""E9 / Table I: the enclave I/O contracts, regenerated and re-validated."""
+
+from repro.experiments.tables import table1_enclave_io
+
+
+def test_bench_table1_enclave_io(benchmark, record_report):
+    report = benchmark.pedantic(table1_enclave_io, rounds=1, iterations=1)
+    record_report(report)
+    print()
+    print(report.format())

@@ -1,0 +1,34 @@
+"""Table II consolidated: every overhead factor in one regeneration.
+
+This is the paper's headline table; the bench prints the same per-module
+rows (L_F, L_T, R_S^SGX/R^C, R_I^SGX/R_S^SGX) plus the session-setup
+summary the table's discussion cites.
+"""
+
+from repro.experiments.tables import table2_overheads
+
+REGISTRATIONS = 150
+
+
+def test_bench_table2_sgx_overheads(benchmark, record_report):
+    report = benchmark.pedantic(
+        table2_overheads,
+        kwargs={"registrations": REGISTRATIONS},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(report)
+    print()
+    print("Module | L_F    | L_T    | R_S/R^C | R_I/R_S  (paper in parens)")
+    for row in report.rows:
+        print(
+            f"{row['module']:>6} | x{row['L_F']:.2f} ({row['paper_L_F']}) "
+            f"| x{row['L_T']:.2f} ({row['paper_L_T']}) "
+            f"| x{row['R_S^SGX/R^C']:.2f} ({row['paper_R']}) "
+            f"| x{row['R_I^SGX/R_S^SGX']:.1f} ({row['paper_Ri_Rs']})"
+        )
+    print(
+        f"session setup {report.derived['session_setup_ms']:.2f} ms; "
+        f"SGX {report.derived['sgx_added_ms']:.2f} ms "
+        f"({report.derived['sgx_share_percent']:.2f} %)"
+    )

@@ -1,0 +1,22 @@
+"""E5 / Table III: EENTER / EEXIT / AEX statistics per UE count.
+
+Paper: ≈90 EENTER/EEXIT per registration; AEX ≈140k regardless of UE
+count; empty workload ≈762 EENTERs / ≈49.7k AEXs.
+"""
+
+from repro.experiments.tables import table3_sgx_stats
+
+MAX_UES = 10  # as in the paper (1..10 UEs)
+ITERATIONS = 3  # paper: 100; counters are near-deterministic here
+
+
+def test_bench_table3_sgx_statistics(benchmark, record_report):
+    report = benchmark.pedantic(
+        table3_sgx_stats,
+        kwargs={"max_ues": MAX_UES, "iterations": ITERATIONS},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(report)
+    print()
+    print(report.format())

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The full subscriber lifecycle through the shielded control plane.
+
+Initial SUCI registration → ciphered PDU session → deregistration →
+GUTI re-registration → SQN desynchronisation healed by AUTS resync
+(verified inside the eUDM enclave).  Everything runs with real TS 33.501
+cryptography over the SGX-isolated P-AKA modules.
+
+Run:  python examples/session_lifecycle.py
+"""
+
+from repro.paka.deploy import IsolationMode
+from repro.testbed import Testbed, TestbedConfig
+
+
+def nas_loop(testbed, ue, first_uplink):
+    """Drive a NAS exchange to completion (what the gNB does)."""
+    downlink = testbed.amf.handle_nas(ue.name, first_uplink)
+    while downlink is not None:
+        uplink = ue.handle_nas(downlink)
+        if uplink is None:
+            break
+        downlink = testbed.amf.handle_nas(ue.name, uplink)
+
+
+def main() -> None:
+    testbed = Testbed.build(TestbedConfig(isolation=IsolationMode.SGX, seed=33))
+    ue = testbed.add_subscriber()
+
+    print("[1] Initial registration (SUCI conceals the IMSI)")
+    outcome = testbed.register(ue)
+    assert outcome.success
+    print(f"    GUTI {ue.guti}, data session at {ue.ue_address}, "
+          f"{outcome.session_setup_ms:.1f} ms")
+
+    print("[2] PDU-session signalling travelled ciphered (128-NEA2)")
+    print(f"    NAS secure channel uplink COUNT now "
+          f"{ue.secure_channel._send_count}")
+
+    print("[3] Deregistration (integrity-protected; GUTI retired)")
+    old_guti = ue.guti
+    accept = testbed.amf.handle_nas(ue.name, ue.build_deregistration_request())
+    ue.handle_nas(accept)
+    assert not ue.registered
+    print(f"    context released; {old_guti} no longer valid")
+
+    print("[4] The phone returns: but its USIM is desynchronised")
+    ue.usim.sqn_ms = 1 << 36  # e.g. the SIM ran many authentications elsewhere
+    nas_loop(testbed, ue, ue.build_registration_request())
+    assert ue.registered
+    record = testbed.udr.subscriber(str(ue.usim.supi))
+    print(f"    AUTS verified inside the eUDM enclave; UDR SQN resynced "
+          f"to {record.sqn}")
+
+    print("[5] Idle-mode return: GUTI re-registration (no SUCI round)")
+    nas_loop(testbed, ue, ue.build_guti_registration_request())
+    assert ue.registered
+    print(f"    fresh GUTI {ue.guti}, fresh K_AMF {ue.kamf.hex()[:16]}…")
+
+    from repro.net.sbi import EUDM_VERIFY_AUTS
+
+    eudm = testbed.paka.module("eudm")
+    verify_calls = len(eudm.server.lt_us_by_path.get(EUDM_VERIFY_AUTS, []))
+    print(f"\nenclave did {eudm.server.requests_served} AKA requests total, "
+          f"including {verify_calls} AUTS verification(s); the subscriber "
+          f"key K never left it.")
+
+
+if __name__ == "__main__":
+    main()

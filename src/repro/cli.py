@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Runs any of the paper's experiments (or the ablations) from a terminal
+and prints the same report the benchmarks record, so a downstream user
+can regenerate a single figure without touching pytest:
+
+.. code-block:: console
+
+   $ python -m repro fig9 --registrations 250
+   $ python -m repro table3 --max-ues 10
+   $ python -m repro register --isolation sgx
+   $ python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.harness import ExperimentReport
+
+_EXPERIMENTS: Dict[str, str] = {
+    "fig7": "Enclave load time (Fig 7)",
+    "fig8": "Thread/EPC sweep (Fig 8)",
+    "fig9": "Functional/total latency (Fig 9, Table II)",
+    "fig10": "Response times (Fig 10, Table II)",
+    "fig11": "OTA feasibility (Fig 11, Table IV)",
+    "table1": "Enclave I/O contracts (Table I)",
+    "table2": "Consolidated overheads (Table II)",
+    "table3": "SGX statistics (Table III)",
+    "table5": "Key issues (Table V)",
+    "setup": "End-to-end session setup",
+    "ablation-preheat": "Preheat ablation",
+    "ablation-exitless": "Exitless ablation",
+    "ablation-backends": "HMEE backend comparison",
+    "ablation-mtcp": "User-level TCP ablation",
+    "scaling": "Horizontal scaling of P-AKA replicas",
+    "migration": "Slice migration service gap per backend",
+}
+
+
+def _run_experiment(name: str, args: argparse.Namespace) -> ExperimentReport:
+    n = args.registrations
+    if name == "fig7":
+        from repro.experiments.figures import figure7_enclave_load_time
+
+        return figure7_enclave_load_time(iterations=args.iterations)
+    if name == "fig8":
+        from repro.experiments.sweeps import figure8_threads_epc_sweep
+
+        return figure8_threads_epc_sweep(registrations=n)
+    if name == "fig9":
+        from repro.experiments.figures import figure9_functional_total_latency
+
+        return figure9_functional_total_latency(registrations=n)
+    if name == "fig10":
+        from repro.experiments.figures import figure10_response_time
+
+        return figure10_response_time(registrations=n)
+    if name == "fig11":
+        from repro.experiments.figures import figure11_ota_feasibility
+
+        return figure11_ota_feasibility()
+    if name == "table1":
+        from repro.experiments.tables import table1_enclave_io
+
+        return table1_enclave_io()
+    if name == "table2":
+        from repro.experiments.tables import table2_overheads
+
+        return table2_overheads(registrations=n)
+    if name == "table3":
+        from repro.experiments.tables import table3_sgx_stats
+
+        return table3_sgx_stats(max_ues=args.max_ues, iterations=args.iterations)
+    if name == "table5":
+        from repro.experiments.tables import table5_key_issues
+
+        return table5_key_issues()
+    if name == "setup":
+        from repro.experiments.session_setup import session_setup_experiment
+
+        return session_setup_experiment(registrations=n)
+    if name == "ablation-preheat":
+        from repro.experiments.ablations import preheat_ablation
+
+        return preheat_ablation(registrations=n)
+    if name == "ablation-exitless":
+        from repro.experiments.ablations import exitless_ablation
+
+        return exitless_ablation(registrations=n)
+    if name == "ablation-backends":
+        from repro.experiments.ablations import hmee_backend_comparison
+
+        return hmee_backend_comparison(registrations=n)
+    if name == "ablation-mtcp":
+        from repro.experiments.ablations import userlevel_tcp_ablation
+
+        return userlevel_tcp_ablation(requests=max(40, n))
+    if name == "scaling":
+        from repro.experiments.scaling import horizontal_scaling_experiment
+
+        return horizontal_scaling_experiment(requests_per_replica=max(15, n // 4))
+    if name == "migration":
+        from repro.experiments.migration import migration_experiment
+
+        return migration_experiment()
+    raise KeyError(name)
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    width = max(len(name) for name in _EXPERIMENTS)
+    for name, description in _EXPERIMENTS.items():
+        print(f"  {name:<{width}}  {description}")
+    return 0
+
+
+def _cmd_register(args: argparse.Namespace) -> int:
+    from repro.paka.deploy import IsolationMode
+    from repro.testbed import Testbed, TestbedConfig
+
+    isolation = None if args.isolation == "monolithic" else IsolationMode(args.isolation)
+    testbed = Testbed.build(TestbedConfig(isolation=isolation, seed=args.seed))
+    successes = 0
+    for _ in range(args.count):
+        ue = testbed.add_subscriber()
+        outcome = testbed.register(ue)
+        successes += outcome.success
+        print(
+            f"  {ue.usim.supi}: "
+            + (
+                f"registered as {outcome.guti} in {outcome.session_setup_ms:.2f} ms"
+                if outcome.success
+                else f"FAILED ({outcome.failure_cause})"
+            )
+        )
+    print(f"{successes}/{args.count} registrations succeeded")
+    return 0 if successes == args.count else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    report = _run_experiment(args.command, args)
+    print(report.format())
+    if report.series and getattr(args, "plot", False):
+        from repro.experiments.render import render_report_figures
+
+        print()
+        print(render_report_figures(report))
+    if not report.all_checks_ok:
+        print("\nFAILED paper-shape checks:", file=sys.stderr)
+        for check in report.failed_checks():
+            print("  " + check.format(), file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Towards Shielding 5G Control Plane "
+        "Functions' (DSN 2024): run the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    register = sub.add_parser("register", help="register UEs through a testbed")
+    register.add_argument(
+        "--isolation",
+        choices=["monolithic", "container", "sgx", "secure-vm"],
+        default="sgx",
+    )
+    register.add_argument("--count", type=int, default=1)
+    register.add_argument("--seed", type=int, default=0)
+
+    for name, description in _EXPERIMENTS.items():
+        experiment = sub.add_parser(name, help=description)
+        experiment.add_argument("--registrations", type=int, default=60)
+        experiment.add_argument("--iterations", type=int, default=5)
+        experiment.add_argument("--max-ues", type=int, default=3)
+        experiment.add_argument(
+            "--plot", action="store_true",
+            help="render the measured distributions as ASCII box plots",
+        )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "register":
+            return _cmd_register(args)
+        return _cmd_experiment(args)
+    except BrokenPipeError:  # output piped into head/less and closed
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Compose-style orchestration.
+
+The paper deploys the OAI core and the P-AKA modules with docker-compose;
+this module gives the experiment harness the same convenience: declare
+services (image, network, optional shielded runtime factory, dependency
+order), then ``up()`` / ``down()`` the whole slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.container.engine import Container, ContainerEngine, RuntimeFactory
+from repro.container.image import ContainerImage
+
+
+class ComposeError(Exception):
+    """Bad service graph (unknown dependency, cycle …)."""
+
+
+@dataclass
+class ServiceSpec:
+    """One service in the project."""
+
+    name: str
+    image: ContainerImage
+    network: Optional[str] = None
+    depends_on: List[str] = field(default_factory=list)
+    runtime_factory: Optional[RuntimeFactory] = None
+
+
+class ComposeProject:
+    """An ordered set of services on one host's engine."""
+
+    def __init__(self, name: str, engine: ContainerEngine) -> None:
+        self.name = name
+        self.engine = engine
+        self._services: Dict[str, ServiceSpec] = {}
+        self._containers: Dict[str, Container] = {}
+
+    def add_service(self, spec: ServiceSpec) -> None:
+        if spec.name in self._services:
+            raise ComposeError(f"duplicate service {spec.name!r}")
+        self._services[spec.name] = spec
+
+    def _start_order(self) -> List[ServiceSpec]:
+        """Topological order over depends_on; raises on cycles."""
+        order: List[ServiceSpec] = []
+        state: Dict[str, int] = {}  # 0 unseen, 1 visiting, 2 done
+
+        def visit(name: str) -> None:
+            status = state.get(name, 0)
+            if status == 1:
+                raise ComposeError(f"dependency cycle through {name!r}")
+            if status == 2:
+                return
+            spec = self._services.get(name)
+            if spec is None:
+                raise ComposeError(f"service {name!r} depends on unknown service")
+            state[name] = 1
+            for dep in spec.depends_on:
+                visit(dep)
+            state[name] = 2
+            order.append(spec)
+
+        for name in self._services:
+            visit(name)
+        return order
+
+    def up(self) -> Dict[str, Container]:
+        """Start every service in dependency order; returns containers."""
+        for spec in self._start_order():
+            if spec.name in self._containers:
+                continue
+            self._containers[spec.name] = self.engine.run(
+                spec.image,
+                name=f"{self.name}_{spec.name}",
+                network=spec.network,
+                runtime_factory=spec.runtime_factory,
+            )
+        return dict(self._containers)
+
+    def down(self) -> None:
+        """Stop and remove services in reverse start order."""
+        for spec in reversed(self._start_order()):
+            container = self._containers.pop(spec.name, None)
+            if container is not None:
+                self.engine.remove(container.name)
+
+    def container(self, service: str) -> Container:
+        try:
+            return self._containers[service]
+        except KeyError:
+            raise ComposeError(f"service {service!r} is not up")

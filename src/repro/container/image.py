@@ -1,0 +1,127 @@
+"""Container images: layered filesystems.
+
+Only two aspects matter to the experiments:
+
+* **size** — GSC measures (hashes) essentially the whole root filesystem
+  as trusted files, which is what makes enclave load take ~a minute
+  (Fig 7), so layer byte-sizes feed the load-time model;
+* **content** — images can carry files with actual bytes (configuration,
+  baked-in credentials).  KI 27's attack is "pull the image, read the
+  secrets"; the mitigation stores a *sealed* blob instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class FileEntry:
+    """One file in an image layer."""
+
+    path: str
+    size_bytes: int
+    content: Optional[bytes] = None  # only small, interesting files carry bytes
+
+    def __post_init__(self) -> None:
+        if not self.path.startswith("/"):
+            raise ValueError(f"image paths must be absolute: {self.path!r}")
+        if self.content is not None and len(self.content) != self.size_bytes:
+            raise ValueError(
+                f"{self.path}: declared size {self.size_bytes} != "
+                f"content length {len(self.content)}"
+            )
+
+
+@dataclass
+class ImageLayer:
+    """One copy-on-write layer."""
+
+    name: str
+    files: List[FileEntry] = field(default_factory=list)
+    opaque_bytes: int = 0  # bulk content we don't model file-by-file
+
+    @property
+    def size_bytes(self) -> int:
+        return self.opaque_bytes + sum(f.size_bytes for f in self.files)
+
+
+@dataclass
+class ContainerImage:
+    """A tagged, layered container image."""
+
+    repository: str
+    tag: str
+    layers: List[ImageLayer] = field(default_factory=list)
+    entrypoint: str = "/bin/app"
+    env: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def reference(self) -> str:
+        return f"{self.repository}:{self.tag}"
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(layer.size_bytes for layer in self.layers)
+
+    def rootfs(self) -> Dict[str, FileEntry]:
+        """The merged filesystem view (later layers shadow earlier ones)."""
+        merged: Dict[str, FileEntry] = {}
+        for layer in self.layers:
+            for entry in layer.files:
+                merged[entry.path] = entry
+        return merged
+
+    def read_file(self, path: str) -> bytes:
+        """Read a file's bytes from the merged rootfs.
+
+        This is the image-theft primitive of KI 27: anyone holding the
+        image can do this — no container needs to be running.
+        """
+        entry = self.rootfs().get(path)
+        if entry is None:
+            raise FileNotFoundError(f"{self.reference}: no such file {path!r}")
+        if entry.content is None:
+            raise ValueError(f"{self.reference}: {path!r} content not modelled")
+        return entry.content
+
+    def with_layer(self, layer: ImageLayer) -> "ContainerImage":
+        """A new image extending this one by ``layer`` (docker build step)."""
+        return ContainerImage(
+            repository=self.repository,
+            tag=f"{self.tag}+{layer.name}",
+            layers=[*self.layers, layer],
+            entrypoint=self.entrypoint,
+            env=dict(self.env),
+        )
+
+
+def oai_base_image(component: str, bulk_mb: int) -> Tuple[ContainerImage, ImageLayer]:
+    """Build an OAI-style VNF image: Ubuntu base + deps + the component.
+
+    Returns the image and its app layer (GSC needs to know which layer is
+    the application when templating the manifest).
+    """
+    base = ImageLayer("ubuntu-20.04", opaque_bytes=72 * 1024**2)
+    deps = ImageLayer(
+        f"{component}-deps",
+        opaque_bytes=bulk_mb * 1024**2,
+        files=[
+            FileEntry("/usr/lib/libssl.so.1.1", 580_000),
+            FileEntry("/usr/lib/libcrypto.so.1.1", 2_800_000),
+            FileEntry("/usr/lib/libpistache.so", 1_450_000),
+        ],
+    )
+    app = ImageLayer(
+        f"{component}-app",
+        opaque_bytes=8 * 1024**2,
+        files=[FileEntry(f"/opt/oai/{component}", 6_200_000)],
+    )
+    image = ContainerImage(
+        repository=f"oai/{component}",
+        tag="v1.5.0",
+        layers=[base, deps, app],
+        entrypoint=f"/opt/oai/{component}",
+    )
+    return image, app

@@ -1,0 +1,104 @@
+"""Intra-host bridge network (the "OAI docker bridge" of Fig 4).
+
+A bridge connects endpoints on the same host through veth pairs; transit
+cost is a fixed per-hop latency plus a per-byte serialization cost, with
+jitter.  The network substrate is an *observation point* for the threat
+model too: an on-path privileged attacker can capture frames — which is
+why tests assert that captured AKA exchanges are TLS ciphertext.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.hw.host import PhysicalHost
+
+
+class NetworkError(Exception):
+    """Unroutable destination or endpoint misuse."""
+
+
+@dataclass
+class Frame:
+    """One captured frame (source, destination, raw payload bytes)."""
+
+    src: str
+    dst: str
+    payload: bytes
+    timestamp_ns: int
+
+
+@dataclass
+class NetworkEndpoint:
+    """One attachment to the bridge (a container's veth)."""
+
+    name: str
+    network: "BridgeNetwork"
+    deliver: Optional[Callable[[Frame], None]] = None
+
+    def send(self, dst: str, payload: bytes) -> None:
+        self.network.transmit(self.name, dst, payload)
+
+
+@dataclass
+class BridgeNetwork:
+    """A named bridge with a latency model and a capture facility."""
+
+    name: str
+    host: PhysicalHost
+    base_latency_us: float = 70.0  # veth pair + bridge + TCP/TLS kernel path
+    per_kb_latency_us: float = 1.6
+    _endpoints: Dict[str, NetworkEndpoint] = field(default_factory=dict)
+    _captures: List[Frame] = field(default_factory=list)
+    capture_enabled: bool = False
+
+    def attach(self, name: str) -> NetworkEndpoint:
+        if name in self._endpoints:
+            raise NetworkError(f"endpoint {name!r} already attached to {self.name!r}")
+        endpoint = NetworkEndpoint(name=name, network=self)
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def detach(self, name: str) -> None:
+        self._endpoints.pop(name, None)
+
+    def endpoint(self, name: str) -> NetworkEndpoint:
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise NetworkError(f"no endpoint {name!r} on bridge {self.name!r}")
+
+    def transit_latency_us(self, nbytes: int) -> float:
+        mean = self.base_latency_us + self.per_kb_latency_us * (nbytes / 1024.0)
+        return self.host.rng.jitter(f"net.{self.name}", mean, 0.06)
+
+    def transmit(self, src: str, dst: str, payload: bytes) -> None:
+        """Move one frame across the bridge, advancing the clock."""
+        if dst not in self._endpoints:
+            raise NetworkError(f"no route from {src!r} to {dst!r} on {self.name!r}")
+        self.host.clock.advance_us(self.transit_latency_us(len(payload)))
+        frame = Frame(
+            src=src, dst=dst, payload=payload,
+            timestamp_ns=self.host.clock.timestamp(),
+        )
+        if self.capture_enabled:
+            self._captures.append(frame)
+        self.host.events.emit(
+            self.host.clock.timestamp(), "net.frame",
+            src=src, dst=dst, nbytes=len(payload),
+        )
+        receiver = self._endpoints[dst]
+        if receiver.deliver is not None:
+            receiver.deliver(frame)
+
+    # ------------------------------------------------------------- capture
+
+    def start_capture(self) -> None:
+        """Begin recording frames (the on-path attacker's tcpdump)."""
+        self.capture_enabled = True
+
+    def stop_capture(self) -> List[Frame]:
+        self.capture_enabled = False
+        captured, self._captures = self._captures, []
+        return captured

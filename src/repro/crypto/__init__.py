@@ -1,0 +1,56 @@
+"""Cryptography substrate.
+
+Unlike the hardware substrates, nothing here is simulated: these are exact
+implementations of the algorithms the 5G-AKA protocol runs —
+
+* :mod:`repro.crypto.aes` — AES-128 block cipher (pure Python; the
+  standard library ships no AES and this reproduction is offline),
+* :mod:`repro.crypto.milenage` — the MILENAGE algorithm set f1–f5*
+  (3GPP TS 35.205/35.206) used for MAC/RES/CK/IK/AK generation,
+* :mod:`repro.crypto.kdf` — the 3GPP generic KDF (TS 33.220 Annex B) and
+  the 5G key-derivation tree of TS 33.501 Annex A (K_AUSF, K_SEAF, K_AMF,
+  RES*/XRES*, HXRES*),
+* :mod:`repro.crypto.suci` — SUPI concealment via ECIES Profile A
+  (Curve25519, TS 33.501 Annex C),
+* :mod:`repro.crypto.tls` — TLS session model with real AEAD-style record
+  protection plus the latency cost hooks the network substrate uses.
+"""
+
+from repro.crypto.aes import aes128_decrypt_block, aes128_encrypt_block
+from repro.crypto.kdf import (
+    derive_hxres_star,
+    derive_kamf,
+    derive_kausf,
+    derive_kseaf,
+    derive_res_star,
+    ts33220_kdf,
+)
+from repro.crypto.milenage import Milenage, MilenageVector, compute_opc
+from repro.crypto.suci import (
+    EciesProfileA,
+    Suci,
+    Supi,
+    conceal_supi,
+    deconceal_suci,
+    x25519,
+)
+
+__all__ = [
+    "aes128_encrypt_block",
+    "aes128_decrypt_block",
+    "Milenage",
+    "MilenageVector",
+    "compute_opc",
+    "ts33220_kdf",
+    "derive_kausf",
+    "derive_kseaf",
+    "derive_kamf",
+    "derive_res_star",
+    "derive_hxres_star",
+    "Supi",
+    "Suci",
+    "EciesProfileA",
+    "conceal_supi",
+    "deconceal_suci",
+    "x25519",
+]

@@ -1,0 +1,195 @@
+"""AES-128 block cipher, pure Python.
+
+MILENAGE (TS 35.206) is defined over a 128-bit block cipher with a 128-bit
+key, for which 3GPP uses AES-128 (Rijndael).  This module implements the
+FIPS-197 cipher directly; it is deliberately table-driven and allocation
+light, but clarity beats speed — the simulator charges cycle costs through
+the hardware model, not through Python's own runtime.
+
+Only ECB-style single-block operations are exposed; MILENAGE and the KDFs
+never need a mode of operation beyond single-block encryption and XOR.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+# FIPS-197 S-box.
+_SBOX = bytes(
+    [
+        0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B, 0xFE, 0xD7, 0xAB, 0x76,
+        0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0, 0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0,
+        0xB7, 0xFD, 0x93, 0x26, 0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+        0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2, 0xEB, 0x27, 0xB2, 0x75,
+        0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0, 0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84,
+        0x53, 0xD1, 0x00, 0xED, 0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+        0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F, 0x50, 0x3C, 0x9F, 0xA8,
+        0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5, 0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2,
+        0xCD, 0x0C, 0x13, 0xEC, 0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+        0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14, 0xDE, 0x5E, 0x0B, 0xDB,
+        0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C, 0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79,
+        0xE7, 0xC8, 0x37, 0x6D, 0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+        0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F, 0x4B, 0xBD, 0x8B, 0x8A,
+        0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E, 0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E,
+        0xE1, 0xF8, 0x98, 0x11, 0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+        0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F, 0xB0, 0x54, 0xBB, 0x16,
+    ]
+)
+
+_INV_SBOX = bytes(256)
+_inv = bytearray(256)
+for i, s in enumerate(_SBOX):
+    _inv[s] = i
+_INV_SBOX = bytes(_inv)
+del _inv
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x in GF(2^8) modulo the AES polynomial."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gmul(a: int, b: int) -> int:
+    """GF(2^8) multiplication (schoolbook; used in MixColumns)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _expand_key(key: bytes) -> List[bytes]:
+    """Expand a 16-byte key into 11 round keys of 16 bytes each."""
+    if len(key) != 16:
+        raise ValueError(f"AES-128 key must be 16 bytes, got {len(key)}")
+    words = [key[i : i + 4] for i in range(0, 16, 4)]
+    for round_index in range(10):
+        prev = words[-1]
+        rotated = prev[1:] + prev[:1]
+        substituted = bytes(_SBOX[b] for b in rotated)
+        first = bytes(
+            [
+                substituted[0] ^ words[-4][0] ^ _RCON[round_index],
+                substituted[1] ^ words[-4][1],
+                substituted[2] ^ words[-4][2],
+                substituted[3] ^ words[-4][3],
+            ]
+        )
+        words.append(first)
+        for _ in range(3):
+            words.append(bytes(a ^ b for a, b in zip(words[-1], words[-4])))
+    return [b"".join(words[i : i + 4]) for i in range(0, 44, 4)]
+
+
+def _add_round_key(state: bytearray, round_key: bytes) -> None:
+    for i in range(16):
+        state[i] ^= round_key[i]
+
+
+def _sub_bytes(state: bytearray, box: bytes) -> None:
+    for i in range(16):
+        state[i] = box[state[i]]
+
+
+def _shift_rows(state: bytearray) -> None:
+    # State is column-major: byte (row r, column c) lives at index 4*c + r.
+    for r in range(1, 4):
+        row = [state[4 * c + r] for c in range(4)]
+        row = row[r:] + row[:r]
+        for c in range(4):
+            state[4 * c + r] = row[c]
+
+
+def _inv_shift_rows(state: bytearray) -> None:
+    for r in range(1, 4):
+        row = [state[4 * c + r] for c in range(4)]
+        row = row[-r:] + row[:-r]
+        for c in range(4):
+            state[4 * c + r] = row[c]
+
+
+def _mix_columns(state: bytearray) -> None:
+    for c in range(4):
+        col = state[4 * c : 4 * c + 4]
+        state[4 * c + 0] = _gmul(col[0], 2) ^ _gmul(col[1], 3) ^ col[2] ^ col[3]
+        state[4 * c + 1] = col[0] ^ _gmul(col[1], 2) ^ _gmul(col[2], 3) ^ col[3]
+        state[4 * c + 2] = col[0] ^ col[1] ^ _gmul(col[2], 2) ^ _gmul(col[3], 3)
+        state[4 * c + 3] = _gmul(col[0], 3) ^ col[1] ^ col[2] ^ _gmul(col[3], 2)
+
+
+def _inv_mix_columns(state: bytearray) -> None:
+    for c in range(4):
+        col = state[4 * c : 4 * c + 4]
+        state[4 * c + 0] = (
+            _gmul(col[0], 14) ^ _gmul(col[1], 11) ^ _gmul(col[2], 13) ^ _gmul(col[3], 9)
+        )
+        state[4 * c + 1] = (
+            _gmul(col[0], 9) ^ _gmul(col[1], 14) ^ _gmul(col[2], 11) ^ _gmul(col[3], 13)
+        )
+        state[4 * c + 2] = (
+            _gmul(col[0], 13) ^ _gmul(col[1], 9) ^ _gmul(col[2], 14) ^ _gmul(col[3], 11)
+        )
+        state[4 * c + 3] = (
+            _gmul(col[0], 11) ^ _gmul(col[1], 13) ^ _gmul(col[2], 9) ^ _gmul(col[3], 14)
+        )
+
+
+def aes128_encrypt_block(key: bytes, block: bytes) -> bytes:
+    """Encrypt one 16-byte block with AES-128."""
+    if len(block) != 16:
+        raise ValueError(f"AES block must be 16 bytes, got {len(block)}")
+    round_keys = _expand_key(key)
+    state = bytearray(block)
+    _add_round_key(state, round_keys[0])
+    for round_index in range(1, 10):
+        _sub_bytes(state, _SBOX)
+        _shift_rows(state)
+        _mix_columns(state)
+        _add_round_key(state, round_keys[round_index])
+    _sub_bytes(state, _SBOX)
+    _shift_rows(state)
+    _add_round_key(state, round_keys[10])
+    return bytes(state)
+
+
+def aes128_decrypt_block(key: bytes, block: bytes) -> bytes:
+    """Decrypt one 16-byte block with AES-128."""
+    if len(block) != 16:
+        raise ValueError(f"AES block must be 16 bytes, got {len(block)}")
+    round_keys = _expand_key(key)
+    state = bytearray(block)
+    _add_round_key(state, round_keys[10])
+    for round_index in range(9, 0, -1):
+        _inv_shift_rows(state)
+        _sub_bytes(state, _INV_SBOX)
+        _add_round_key(state, round_keys[round_index])
+        _inv_mix_columns(state)
+    _inv_shift_rows(state)
+    _sub_bytes(state, _INV_SBOX)
+    _add_round_key(state, round_keys[0])
+    return bytes(state)
+
+
+def aes128_ctr(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """AES-128 in counter mode (used by the ECIES SUCI profile).
+
+    ``nonce`` must be 16 bytes; it is used as the initial counter block and
+    incremented big-endian per block, matching common ECIES profiles.
+    """
+    if len(nonce) != 16:
+        raise ValueError(f"CTR nonce must be 16 bytes, got {len(nonce)}")
+    out = bytearray()
+    counter = int.from_bytes(nonce, "big")
+    for offset in range(0, len(data), 16):
+        keystream = aes128_encrypt_block(key, counter.to_bytes(16, "big"))
+        chunk = data[offset : offset + 16]
+        out.extend(a ^ b for a, b in zip(chunk, keystream))
+        counter = (counter + 1) % (1 << 128)
+    return bytes(out)

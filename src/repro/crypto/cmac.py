@@ -1,0 +1,76 @@
+"""AES-CMAC (RFC 4493 / NIST SP 800-38B).
+
+5G NAS integrity algorithm 128-NIA2 is AES-CMAC over the message with the
+NAS COUNT/bearer/direction prepended (TS 33.501 Annex D); the MAC carried
+in NAS messages is the 4-byte truncation.  Used by the AMF and the UE for
+the Security Mode procedure after K_AMF is derived.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import aes128_encrypt_block
+
+_BLOCK = 16
+_RB = 0x87
+
+
+def _left_shift_one(block: bytes) -> "tuple[bytes, bool]":
+    value = int.from_bytes(block, "big") << 1
+    return (value & ((1 << 128) - 1)).to_bytes(16, "big"), bool(value >> 128)
+
+
+def _generate_subkeys(key: bytes) -> "tuple[bytes, bytes]":
+    l = aes128_encrypt_block(key, bytes(16))
+    k1, carry = _left_shift_one(l)
+    if carry:
+        k1 = k1[:-1] + bytes([k1[-1] ^ _RB])
+    k2, carry = _left_shift_one(k1)
+    if carry:
+        k2 = k2[:-1] + bytes([k2[-1] ^ _RB])
+    return k1, k2
+
+
+def aes_cmac(key: bytes, message: bytes) -> bytes:
+    """Full 16-byte AES-CMAC tag."""
+    if len(key) != 16:
+        raise ValueError(f"CMAC key must be 16 bytes, got {len(key)}")
+    k1, k2 = _generate_subkeys(key)
+    n_blocks = max(1, (len(message) + _BLOCK - 1) // _BLOCK)
+    complete_last = len(message) > 0 and len(message) % _BLOCK == 0
+
+    if complete_last:
+        last = bytes(a ^ b for a, b in zip(message[-_BLOCK:], k1))
+    else:
+        tail = message[(n_blocks - 1) * _BLOCK :]
+        padded = tail + b"\x80" + bytes(_BLOCK - len(tail) - 1)
+        last = bytes(a ^ b for a, b in zip(padded, k2))
+
+    x = bytes(16)
+    for i in range(n_blocks - 1):
+        block = message[i * _BLOCK : (i + 1) * _BLOCK]
+        x = aes128_encrypt_block(key, bytes(a ^ b for a, b in zip(x, block)))
+    return aes128_encrypt_block(key, bytes(a ^ b for a, b in zip(x, last)))
+
+
+def nia2_mac(
+    k_nas_int: bytes,
+    count: int,
+    bearer: int,
+    direction: int,
+    message: bytes,
+) -> bytes:
+    """128-NIA2: 4-byte NAS MAC (TS 33.501 D.3.1.3 input framing).
+
+    ``k_nas_int`` is the 16-byte NAS integrity key; ``direction`` is 0 for
+    uplink and 1 for downlink.
+    """
+    if direction not in (0, 1):
+        raise ValueError(f"direction must be 0 or 1, got {direction}")
+    if not 0 <= bearer < 32:
+        raise ValueError(f"bearer must fit 5 bits, got {bearer}")
+    header = (
+        count.to_bytes(4, "big")
+        + bytes([(bearer << 3) | (direction << 2)])
+        + bytes(3)
+    )
+    return aes_cmac(k_nas_int, header + message)[:4]

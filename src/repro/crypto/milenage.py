@@ -1,0 +1,154 @@
+"""MILENAGE algorithm set (3GPP TS 35.205 / TS 35.206).
+
+MILENAGE instantiates the authentication functions f1, f1*, f2, f3, f4,
+f5 and f5* used by 5G-AKA (and by UMTS/LTE AKA before it) on top of a
+128-bit block cipher — AES-128 here, exactly as 3GPP specifies:
+
+* **f1 / f1*** — network / resynchronisation message authentication codes,
+* **f2** — the response RES to the authentication challenge,
+* **f3 / f4** — cipher key CK and integrity key IK,
+* **f5 / f5*** — anonymity keys AK used to conceal the sequence number.
+
+Both the UDM (home network side, inside the eUDM P-AKA enclave in the
+paper) and the USIM (UE side) execute the same functions; mutual
+authentication works because both sides hold the subscriber key K and the
+operator constant OPc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.aes import aes128_encrypt_block
+
+# TS 35.206 §4.1 default constants: rotation amounts (bits) and additive
+# constants c1..c5 (only the low bits differ between them).
+_R1, _R2, _R3, _R4, _R5 = 64, 0, 32, 64, 96
+_C1 = bytes(16)
+_C2 = bytes(15) + b"\x01"
+_C3 = bytes(15) + b"\x02"
+_C4 = bytes(15) + b"\x04"
+_C5 = bytes(15) + b"\x08"
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    if len(a) != len(b):
+        raise ValueError(f"xor length mismatch: {len(a)} vs {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _rotate_left(block: bytes, bits: int) -> bytes:
+    """Cyclic left rotation of a 16-byte block by ``bits`` bits."""
+    if bits % 8:
+        value = int.from_bytes(block, "big")
+        width = len(block) * 8
+        rotated = ((value << bits) | (value >> (width - bits))) % (1 << width)
+        return rotated.to_bytes(len(block), "big")
+    shift = (bits // 8) % len(block)
+    return block[shift:] + block[:shift]
+
+
+def compute_opc(k: bytes, op: bytes) -> bytes:
+    """Derive the subscriber-specific operator constant OPc = OP ⊕ E_K(OP)."""
+    return _xor(aes128_encrypt_block(k, op), op)
+
+
+@dataclass(frozen=True)
+class MilenageVector:
+    """The full output of one MILENAGE evaluation for a given RAND."""
+
+    rand: bytes
+    mac_a: bytes  # f1,  8 bytes
+    mac_s: bytes  # f1*, 8 bytes
+    res: bytes  # f2,  8 bytes
+    ck: bytes  # f3, 16 bytes
+    ik: bytes  # f4, 16 bytes
+    ak: bytes  # f5,  6 bytes
+    ak_star: bytes  # f5*, 6 bytes
+
+
+class Milenage:
+    """MILENAGE evaluated for one subscriber (fixed K and OPc).
+
+    >>> m = Milenage(k=bytes(16), opc=bytes(16))
+    >>> out = m.f2345(rand=bytes(16))
+    >>> len(out.res), len(out.ck), len(out.ak)
+    (8, 16, 6)
+    """
+
+    def __init__(self, k: bytes, opc: bytes) -> None:
+        if len(k) != 16:
+            raise ValueError(f"K must be 16 bytes, got {len(k)}")
+        if len(opc) != 16:
+            raise ValueError(f"OPc must be 16 bytes, got {len(opc)}")
+        self.k = k
+        self.opc = opc
+
+    @classmethod
+    def from_op(cls, k: bytes, op: bytes) -> "Milenage":
+        """Build from the operator variant OP (computes OPc on the fly)."""
+        return cls(k, compute_opc(k, op))
+
+    def _temp(self, rand: bytes) -> bytes:
+        if len(rand) != 16:
+            raise ValueError(f"RAND must be 16 bytes, got {len(rand)}")
+        return aes128_encrypt_block(self.k, _xor(rand, self.opc))
+
+    def f1(self, rand: bytes, sqn: bytes, amf: bytes) -> "tuple[bytes, bytes]":
+        """f1 / f1*: returns (MAC-A, MAC-S) for the given SQN and AMF field.
+
+        ``amf`` here is the 2-byte Authentication Management Field of
+        TS 33.102, not the Access and Mobility Management Function.
+        """
+        if len(sqn) != 6:
+            raise ValueError(f"SQN must be 6 bytes, got {len(sqn)}")
+        if len(amf) != 2:
+            raise ValueError(f"AMF field must be 2 bytes, got {len(amf)}")
+        temp = self._temp(rand)
+        in1 = sqn + amf + sqn + amf
+        inner = _xor(temp, _rotate_left(_xor(in1, self.opc), _R1))
+        out1 = _xor(aes128_encrypt_block(self.k, _xor(inner, _C1)), self.opc)
+        return out1[:8], out1[8:]
+
+    def f2345(self, rand: bytes) -> MilenageVector:
+        """Evaluate f2–f5* (everything except the MACs) for ``rand``."""
+        temp = self._temp(rand)
+        base = _xor(temp, self.opc)
+
+        out2 = _xor(
+            aes128_encrypt_block(self.k, _xor(_rotate_left(base, _R2), _C2)), self.opc
+        )
+        out3 = _xor(
+            aes128_encrypt_block(self.k, _xor(_rotate_left(base, _R3), _C3)), self.opc
+        )
+        out4 = _xor(
+            aes128_encrypt_block(self.k, _xor(_rotate_left(base, _R4), _C4)), self.opc
+        )
+        out5 = _xor(
+            aes128_encrypt_block(self.k, _xor(_rotate_left(base, _R5), _C5)), self.opc
+        )
+        return MilenageVector(
+            rand=rand,
+            mac_a=b"",
+            mac_s=b"",
+            res=out2[8:16],
+            ck=out3,
+            ik=out4,
+            ak=out2[:6],
+            ak_star=out5[:6],
+        )
+
+    def generate(self, rand: bytes, sqn: bytes, amf: bytes) -> MilenageVector:
+        """Full evaluation: f1 and f2–f5* together."""
+        mac_a, mac_s = self.f1(rand, sqn, amf)
+        partial = self.f2345(rand)
+        return MilenageVector(
+            rand=rand,
+            mac_a=mac_a,
+            mac_s=mac_s,
+            res=partial.res,
+            ck=partial.ck,
+            ik=partial.ik,
+            ak=partial.ak,
+            ak_star=partial.ak_star,
+        )

@@ -1,0 +1,42 @@
+"""128-NEA2 — NAS/AS ciphering (TS 33.501 Annex D / TS 33.401 B.1.3).
+
+NEA2 is AES-128 in counter mode with the initial counter block built from
+the 32-bit COUNT, the 5-bit BEARER and the 1-bit DIRECTION:
+
+    ICB = COUNT(32) ‖ BEARER(5) ‖ DIRECTION(1) ‖ 0…0 (26) ‖ 0…0 (64)
+
+Encryption and decryption are the same operation (CTR keystream XOR).
+Used by the Security Mode procedure's ciphered NAS exchanges once K_AMF
+and the NAS keys are in place.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import aes128_ctr
+
+
+def _initial_counter_block(count: int, bearer: int, direction: int) -> bytes:
+    if not 0 <= count <= 0xFFFFFFFF:
+        raise ValueError(f"COUNT out of range: {count}")
+    if not 0 <= bearer < 32:
+        raise ValueError(f"BEARER must fit 5 bits: {bearer}")
+    if direction not in (0, 1):
+        raise ValueError(f"DIRECTION must be 0 or 1: {direction}")
+    block = count.to_bytes(4, "big")
+    block += bytes([(bearer << 3) | (direction << 2)])
+    block += bytes(11)
+    return block
+
+
+def nea2_encrypt(
+    k_nas_enc: bytes, count: int, bearer: int, direction: int, plaintext: bytes
+) -> bytes:
+    """Cipher (or decipher) one NAS payload under 128-NEA2."""
+    if len(k_nas_enc) != 16:
+        raise ValueError(f"NEA2 key must be 16 bytes, got {len(k_nas_enc)}")
+    icb = _initial_counter_block(count, bearer, direction)
+    return aes128_ctr(k_nas_enc, icb, plaintext)
+
+
+# CTR is an involution under the same parameters.
+nea2_decrypt = nea2_encrypt

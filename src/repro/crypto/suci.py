@@ -1,0 +1,226 @@
+"""SUPI concealment — SUCI via ECIES Profile A (TS 33.501 Annex C).
+
+The UE never sends its permanent identifier (SUPI) in the clear; it
+conceals the MSIN part under the home network's public key, producing a
+SUCI.  Profile A uses Curve25519 key agreement, the ANSI X9.63 KDF, AES-128
+in counter mode and an HMAC-SHA-256 tag truncated to 8 bytes.
+
+The X25519 function is implemented from RFC 7748 directly (Montgomery
+ladder over GF(2^255 − 19)); the reproduction is offline and may not link
+against an external crypto library.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.crypto.aes import aes128_ctr
+
+_P = 2**255 - 19
+_A24 = 121665
+
+
+def _decode_u_coordinate(u: bytes) -> int:
+    if len(u) != 32:
+        raise ValueError(f"X25519 coordinate must be 32 bytes, got {len(u)}")
+    masked = bytearray(u)
+    masked[31] &= 0x7F
+    return int.from_bytes(masked, "little")
+
+
+def _decode_scalar(k: bytes) -> int:
+    if len(k) != 32:
+        raise ValueError(f"X25519 scalar must be 32 bytes, got {len(k)}")
+    clamped = bytearray(k)
+    clamped[0] &= 248
+    clamped[31] &= 127
+    clamped[31] |= 64
+    return int.from_bytes(clamped, "little")
+
+
+def x25519(scalar: bytes, u_coordinate: bytes) -> bytes:
+    """RFC 7748 §5 X25519 scalar multiplication."""
+    k = _decode_scalar(scalar)
+    u = _decode_u_coordinate(u_coordinate)
+
+    x1 = u
+    x2, z2 = 1, 0
+    x3, z3 = u, 1
+    swap = 0
+    for t in range(254, -1, -1):
+        k_t = (k >> t) & 1
+        swap ^= k_t
+        if swap:
+            x2, x3 = x3, x2
+            z2, z3 = z3, z2
+        swap = k_t
+
+        a = (x2 + z2) % _P
+        aa = (a * a) % _P
+        b = (x2 - z2) % _P
+        bb = (b * b) % _P
+        e = (aa - bb) % _P
+        c = (x3 + z3) % _P
+        d = (x3 - z3) % _P
+        da = (d * a) % _P
+        cb = (c * b) % _P
+        x3 = pow(da + cb, 2, _P)
+        z3 = (x1 * pow(da - cb, 2, _P)) % _P
+        x2 = (aa * bb) % _P
+        z2 = (e * (aa + _A24 * e)) % _P
+
+    if swap:
+        x2, x3 = x3, x2
+        z2, z3 = z3, z2
+    result = (x2 * pow(z2, _P - 2, _P)) % _P
+    return result.to_bytes(32, "little")
+
+
+_BASE_POINT = (9).to_bytes(32, "little")
+
+
+def x25519_public_key(private_key: bytes) -> bytes:
+    """Derive the public u-coordinate for a 32-byte private scalar."""
+    return x25519(private_key, _BASE_POINT)
+
+
+def _x963_kdf(shared_secret: bytes, shared_info: bytes, length: int) -> bytes:
+    """ANSI X9.63 KDF with SHA-256 (TS 33.501 C.3.2)."""
+    output = b""
+    counter = 1
+    while len(output) < length:
+        output += hashlib.sha256(
+            shared_secret + counter.to_bytes(4, "big") + shared_info
+        ).digest()
+        counter += 1
+    return output[:length]
+
+
+@dataclass(frozen=True)
+class Supi:
+    """Subscription Permanent Identifier in IMSI form."""
+
+    mcc: str
+    mnc: str
+    msin: str
+
+    def __post_init__(self) -> None:
+        if not (self.mcc.isdigit() and len(self.mcc) == 3):
+            raise ValueError(f"MCC must be 3 digits: {self.mcc!r}")
+        if not (self.mnc.isdigit() and len(self.mnc) in (2, 3)):
+            raise ValueError(f"MNC must be 2 or 3 digits: {self.mnc!r}")
+        if not (self.msin.isdigit() and 5 <= len(self.msin) <= 10):
+            raise ValueError(f"MSIN must be 5-10 digits: {self.msin!r}")
+
+    @property
+    def imsi(self) -> str:
+        return self.mcc + self.mnc + self.msin
+
+    def __str__(self) -> str:
+        return f"imsi-{self.imsi}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Supi":
+        """Parse ``imsi-<mcc><mnc><msin>`` assuming a 2-digit MNC."""
+        if not text.startswith("imsi-"):
+            raise ValueError(f"not an IMSI-format SUPI: {text!r}")
+        digits = text[len("imsi-") :]
+        return cls(mcc=digits[:3], mnc=digits[3:5], msin=digits[5:])
+
+
+@dataclass(frozen=True)
+class Suci:
+    """Subscription Concealed Identifier.
+
+    Carries the routing information in the clear (the home network must
+    route the SUCI to the right UDM) and the MSIN concealed under the
+    protection scheme's output.
+    """
+
+    mcc: str
+    mnc: str
+    protection_scheme: int  # 0 = null scheme, 1 = Profile A, 2 = Profile B
+    home_network_key_id: int
+    scheme_output: bytes
+
+    SCHEME_NULL = 0
+    SCHEME_PROFILE_A = 1
+
+    def __str__(self) -> str:
+        return (
+            f"suci-0-{self.mcc}-{self.mnc}-0-{self.protection_scheme}-"
+            f"{self.home_network_key_id}-{self.scheme_output.hex()}"
+        )
+
+
+class EciesProfileA:
+    """ECIES Profile A encrypt/decrypt primitives (TS 33.501 C.3.2).
+
+    The KDF output is split AES key (16 B) ‖ initial counter block (16 B)
+    ‖ MAC key (32 B); the tag is HMAC-SHA-256 truncated to 8 bytes.
+    """
+
+    KDF_LENGTH = 16 + 16 + 32
+    TAG_LENGTH = 8
+
+    @staticmethod
+    def encrypt(plaintext: bytes, hn_public_key: bytes, eph_private_key: bytes) -> bytes:
+        eph_public = x25519_public_key(eph_private_key)
+        shared = x25519(eph_private_key, hn_public_key)
+        keys = _x963_kdf(shared, eph_public, EciesProfileA.KDF_LENGTH)
+        aes_key, icb, mac_key = keys[:16], keys[16:32], keys[32:]
+        ciphertext = aes128_ctr(aes_key, icb, plaintext)
+        tag = hmac.new(mac_key, ciphertext, hashlib.sha256).digest()[
+            : EciesProfileA.TAG_LENGTH
+        ]
+        return eph_public + ciphertext + tag
+
+    @staticmethod
+    def decrypt(scheme_output: bytes, hn_private_key: bytes) -> bytes:
+        if len(scheme_output) < 32 + EciesProfileA.TAG_LENGTH:
+            raise ValueError("scheme output too short for Profile A")
+        eph_public = scheme_output[:32]
+        ciphertext = scheme_output[32 : -EciesProfileA.TAG_LENGTH]
+        tag = scheme_output[-EciesProfileA.TAG_LENGTH :]
+        shared = x25519(hn_private_key, eph_public)
+        keys = _x963_kdf(shared, eph_public, EciesProfileA.KDF_LENGTH)
+        aes_key, icb, mac_key = keys[:16], keys[16:32], keys[32:]
+        expected = hmac.new(mac_key, ciphertext, hashlib.sha256).digest()[
+            : EciesProfileA.TAG_LENGTH
+        ]
+        if not hmac.compare_digest(tag, expected):
+            raise ValueError("SUCI MAC verification failed")
+        return aes128_ctr(aes_key, icb, ciphertext)
+
+
+def conceal_supi(
+    supi: Supi,
+    hn_public_key: bytes,
+    eph_private_key: bytes,
+    home_network_key_id: int = 1,
+) -> Suci:
+    """Conceal a SUPI into a Profile A SUCI (UE side)."""
+    scheme_output = EciesProfileA.encrypt(
+        supi.msin.encode(), hn_public_key, eph_private_key
+    )
+    return Suci(
+        mcc=supi.mcc,
+        mnc=supi.mnc,
+        protection_scheme=Suci.SCHEME_PROFILE_A,
+        home_network_key_id=home_network_key_id,
+        scheme_output=scheme_output,
+    )
+
+
+def deconceal_suci(suci: Suci, hn_private_key: bytes) -> Supi:
+    """Recover the SUPI from a SUCI (UDM/SIDF side)."""
+    if suci.protection_scheme == Suci.SCHEME_NULL:
+        msin = suci.scheme_output.decode()
+    elif suci.protection_scheme == Suci.SCHEME_PROFILE_A:
+        msin = EciesProfileA.decrypt(suci.scheme_output, hn_private_key).decode()
+    else:
+        raise ValueError(f"unsupported protection scheme {suci.protection_scheme}")
+    return Supi(mcc=suci.mcc, mnc=suci.mnc, msin=msin)

@@ -1,0 +1,87 @@
+"""Terminal rendering of experiment distributions.
+
+The paper's Figs 7–10 are box plots; this module renders the same
+five-number summaries as ASCII box plots so `python -m repro fig9` can
+show the figure, not just the numbers.
+
+::
+
+    container eudm L_T  |        |----[=====|=====]-----|          61.0
+    sgx eudm L_T        |                 |--[====|====]--|       113.8
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.experiments.stats import SeriesSummary
+
+_WIDTH = 58
+
+
+def _scale(value: float, low: float, high: float, width: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return max(0, min(width - 1, int(round(position * (width - 1)))))
+
+
+def ascii_boxplot(
+    series: Iterable[SeriesSummary],
+    width: int = _WIDTH,
+    title: Optional[str] = None,
+) -> str:
+    """Render the summaries as aligned horizontal box plots.
+
+    Whiskers span min..max, the box spans the IQR, ``|`` marks the
+    median.  All rows share one axis so shapes are comparable.
+    """
+    rows: List[SeriesSummary] = list(series)
+    if not rows:
+        raise ValueError("nothing to plot")
+    low = min(s.minimum for s in rows)
+    high = max(s.maximum for s in rows)
+    label_width = max(len(s.name) for s in rows)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for summary in rows:
+        canvas = [" "] * width
+        lo = _scale(summary.minimum, low, high, width)
+        hi = _scale(summary.maximum, low, high, width)
+        q1 = _scale(summary.p25, low, high, width)
+        q3 = _scale(summary.p75, low, high, width)
+        med = _scale(summary.median, low, high, width)
+        for i in range(lo, hi + 1):
+            canvas[i] = "-"
+        for i in range(q1, q3 + 1):
+            canvas[i] = "="
+        canvas[lo] = "|"
+        canvas[hi] = "|"
+        if q1 <= med <= q3:
+            canvas[med] = "#"
+        lines.append(
+            f"{summary.name:<{label_width}}  [{''.join(canvas)}]"
+            f" {summary.median:>9.2f} {summary.unit}"
+        )
+    axis = f"{'':<{label_width}}   {low:<.3g}{'':>{max(1, width - 14)}}{high:>.3g}"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def render_report_figures(report) -> str:
+    """Box-plot every series group in an ExperimentReport.
+
+    Series are grouped by their trailing metric tag (``.../LF``,
+    ``.../LT``, ``.../R_stable`` …) so each paper sub-figure becomes one
+    shared-axis plot.
+    """
+    groups: Dict[str, List[SeriesSummary]] = {}
+    for key, summary in report.series.items():
+        metric = key.rsplit("/", 1)[-1] if "/" in key else key
+        groups.setdefault(metric, []).append(summary)
+    blocks = []
+    for metric, rows in groups.items():
+        blocks.append(ascii_boxplot(rows, title=f"[{metric}]"))
+    return "\n\n".join(blocks)

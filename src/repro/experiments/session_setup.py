@@ -1,0 +1,57 @@
+"""End-to-end session setup: the paper's 62.38 ms / 5.58 % analysis.
+
+Registers UEs (including PDU session establishment) through the container
+and SGX deployments, measures the end-to-end setup time, and attributes
+the difference to SGX isolation — the paper's "the overhead appears very
+large but is a small fraction of the end-to-end session setup latency"
+argument.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import BandCheck, ExperimentReport, warmed_testbed
+from repro.experiments.stats import summarize
+from repro.paka.deploy import IsolationMode
+
+
+def session_setup_experiment(registrations: int = 40, seed: int = 60) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="E6",
+        title="End-to-end UE session setup and the SGX share",
+    )
+    means = {}
+    for isolation in (IsolationMode.CONTAINER, IsolationMode.SGX):
+        testbed = warmed_testbed(isolation, seed=seed)
+        setups = []
+        for _ in range(registrations):
+            ue = testbed.add_subscriber()
+            outcome = testbed.register(ue, establish_session=True)
+            if not outcome.success:
+                raise RuntimeError(f"registration failed: {outcome.failure_cause}")
+            setups.append(outcome.session_setup_ms)
+        label = isolation.value
+        report.series[label] = summarize(f"{label} session setup", setups, "ms")
+        means[label] = report.series[label].mean
+
+    sgx_added = means["sgx"] - means["container"]
+    share = 100.0 * sgx_added / means["sgx"]
+    report.derived["container_setup_ms"] = means["container"]
+    report.derived["sgx_setup_ms"] = means["sgx"]
+    report.derived["sgx_added_ms"] = sgx_added
+    report.derived["sgx_share_percent"] = share
+
+    report.checks.append(
+        BandCheck("SGX end-to-end setup (ms)", means["sgx"], 52.0, 72.0,
+                  paper_value=62.38)
+    )
+    report.checks.append(
+        BandCheck("SGX-added delay (ms)", sgx_added, 0.8, 4.5, paper_value=3.48)
+    )
+    report.checks.append(
+        BandCheck("SGX share of setup (%)", share, 1.2, 7.0, paper_value=5.58)
+    )
+    report.notes = (
+        "the SGX delta is the stable-regime response inflation of the three "
+        "module exchanges; a small fraction of the radio-dominated total"
+    )
+    return report

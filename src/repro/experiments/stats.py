@@ -1,0 +1,64 @@
+"""Distribution summaries for experiment series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Five-number-ish summary of one measured series."""
+
+    name: str
+    unit: str
+    n: int
+    mean: float
+    median: float
+    p25: float
+    p75: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        return self.p75 - self.p25
+
+    def format(self) -> str:
+        return (
+            f"{self.name}: mean={self.mean:.2f} median={self.median:.2f} "
+            f"IQR=[{self.p25:.2f}, {self.p75:.2f}] sd={self.stdev:.2f} "
+            f"n={self.n} ({self.unit})"
+        )
+
+
+def summarize(name: str, values: Sequence[float], unit: str) -> SeriesSummary:
+    if not values:
+        raise ValueError(f"series {name!r} is empty")
+    array = np.asarray(values, dtype=float)
+    return SeriesSummary(
+        name=name,
+        unit=unit,
+        n=array.size,
+        mean=float(array.mean()),
+        median=float(np.median(array)),
+        p25=float(np.percentile(array, 25)),
+        p75=float(np.percentile(array, 75)),
+        stdev=float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+    )
+
+
+def outlier_fraction(values: Sequence[float], k: float = 1.5) -> float:
+    """Fraction of points outside the Tukey fences (paper: <5 % outliers)."""
+    array = np.asarray(values, dtype=float)
+    if array.size < 4:
+        return 0.0
+    q1, q3 = np.percentile(array, [25, 75])
+    iqr = q3 - q1
+    low, high = q1 - k * iqr, q3 + k * iqr
+    return float(np.mean((array < low) | (array > high)))

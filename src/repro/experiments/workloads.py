@@ -1,0 +1,59 @@
+"""Workload generators for the experiment harness and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.fivegc.messages import RegistrationOutcome
+from repro.paka.deploy import IsolationMode
+from repro.ran.gnbsim import GnbSim, MassRegistrationReport
+from repro.testbed import Testbed, TestbedConfig
+
+
+@dataclass(frozen=True)
+class RegistrationWorkload:
+    """A sized registration campaign."""
+
+    ue_count: int
+    establish_session: bool = False
+    inter_registration_idle_s: float = 0.0
+
+    def run(self, testbed: Testbed) -> MassRegistrationReport:
+        return GnbSim(testbed).register_ues(
+            self.ue_count,
+            establish_session=self.establish_session,
+            inter_registration_idle_s=self.inter_registration_idle_s,
+        )
+
+
+def steady_state_registrations(
+    isolation: IsolationMode,
+    count: int,
+    seed: int = 0,
+    warmup: int = 2,
+) -> "tuple[Testbed, MassRegistrationReport]":
+    """The standard measurement loop: warm up, then register ``count`` UEs."""
+    testbed = Testbed.build(TestbedConfig(seed=seed, isolation=isolation))
+    sim = GnbSim(testbed)
+    sim.warm_up(warmup)
+    report = RegistrationWorkload(ue_count=count).run(testbed)
+    return testbed, report
+
+
+def burst_then_idle(
+    isolation: IsolationMode,
+    bursts: int,
+    burst_size: int,
+    idle_s: float,
+    seed: int = 0,
+) -> "tuple[Testbed, List[MassRegistrationReport]]":
+    """Bursty arrivals: ``bursts`` batches separated by idle windows —
+    exercises the AEX accounting and keep-alive reuse across gaps."""
+    testbed = Testbed.build(TestbedConfig(seed=seed, isolation=isolation))
+    sim = GnbSim(testbed)
+    reports = []
+    for _ in range(bursts):
+        reports.append(RegistrationWorkload(ue_count=burst_size).run(testbed))
+        testbed.idle(idle_s)
+    return testbed, reports

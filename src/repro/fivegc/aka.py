@@ -1,0 +1,28 @@
+"""5G-AKA authentication-vector generation — re-export.
+
+The protocol core lives in :mod:`repro.aka` so that both the 5G core VNFs
+and the P-AKA modules can import it without a package cycle (the UDM
+imports the eUDM module class for its offload path, and the module
+imports the AV generation functions).  This module preserves the
+``repro.fivegc.aka`` import path.
+"""
+
+from repro.aka import (
+    AMF_FIELD_5G,
+    HomeAuthVector,
+    ServingAuthVector,
+    build_autn,
+    derive_se_av,
+    generate_he_av,
+    verify_hres_star,
+)
+
+__all__ = [
+    "AMF_FIELD_5G",
+    "HomeAuthVector",
+    "ServingAuthVector",
+    "build_autn",
+    "generate_he_av",
+    "derive_se_av",
+    "verify_hres_star",
+]

@@ -1,0 +1,403 @@
+"""AMF — Access and Mobility Management Function (with the SEAF role).
+
+Terminates NAS signalling from the gNB, drives the 5G-AKA exchange of
+Fig 5, and activates NAS security once K_AMF is derived:
+
+1. Registration Request (SUCI) arrives → authenticate via AUSF,
+2. Authentication Request (RAND, AUTN) goes to the UE,
+3. the UE's RES* is checked against HXRES* (SEAF), then confirmed with
+   the AUSF, which releases K_SEAF,
+4. K_AMF is derived from K_SEAF — inside the eAMF P-AKA module when
+   offloaded (Fig 5 step 5) — and NAS int/enc keys follow,
+5. Security Mode Command/Complete (real 128-NIA2 MACs), then
+   Registration Accept with a fresh 5G-GUTI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+from repro.crypto.cmac import nia2_mac
+from repro.crypto.kdf import derive_hxres_star, derive_kamf, derive_nas_keys
+from repro.fivegc.messages import (
+    AuthenticationFailure,
+    AuthenticationReject,
+    AuthenticationRequest,
+    AuthenticationResponse,
+    DeregistrationAccept,
+    DeregistrationRequest,
+    NasMessage,
+    PduSessionEstablishmentAccept,
+    PduSessionEstablishmentRequest,
+    RegistrationAccept,
+    RegistrationComplete,
+    RegistrationRequest,
+    SecurityModeCommand,
+    SecurityModeComplete,
+)
+from repro.fivegc.nas_security import (
+    DOWNLINK,
+    NasSecurityError,
+    ProtectedNasPdu,
+    SecureNasChannel,
+)
+from repro.fivegc.nf_base import NetworkFunction
+from repro.net.rest import JsonApiError
+from repro.net.sbi import (
+    AUSF_UE_AUTH,
+    AUSF_UE_AUTH_CONFIRM,
+    EAMF_DERIVE_KAMF,
+    NFType,
+    SMF_PDU_SESSION,
+)
+from repro.paka.modules import EamfPakaModule
+
+_KAMF_LOCAL_CYCLES = EamfPakaModule.COMPUTE_CYCLES
+_NAS_DECODE_CYCLES = 16_000
+_NAS_ENCODE_CYCLES = 14_000
+_HRES_CHECK_CYCLES = 9_500
+_GUTI_ALLOC_CYCLES = 6_000
+_ABBA = b"\x00\x00"
+
+
+class AmfError(Exception):
+    """Protocol-state violation in the AMF."""
+
+
+class _SessionState(Enum):
+    WAIT_AUTH_RESPONSE = "wait-auth-response"
+    WAIT_SMC_COMPLETE = "wait-smc-complete"
+    WAIT_REG_COMPLETE = "wait-registration-complete"
+    REGISTERED = "registered"
+    FAILED = "failed"
+
+
+@dataclass
+class _UeSession:
+    ue_id: str
+    state: _SessionState
+    snn: str
+    identity: Dict[str, object] = field(default_factory=dict)  # suci or supi
+    auth_ctx_id: str = ""
+    rand: bytes = b""
+    hxres_star: bytes = b""
+    supi: str = ""
+    kamf: bytes = b""
+    k_nas_int: bytes = b""
+    k_nas_enc: bytes = b""
+    guti: str = ""
+    downlink_count: int = 0
+    uplink_count: int = 0
+    resync_attempted: bool = False
+    secure_channel: Optional[SecureNasChannel] = None
+    detail: Dict[str, float] = field(default_factory=dict)
+
+
+class Amf(NetworkFunction):
+    NF_TYPE = NFType.AMF
+
+    def __init__(self, *args, serving_network_name: str, **kwargs) -> None:
+        self.snn = serving_network_name
+        self.offload_module: Optional[EamfPakaModule] = None
+        self._sessions: Dict[str, _UeSession] = {}
+        self._guti_to_supi: Dict[str, str] = {}
+        self._guti_counter = 0
+        super().__init__(*args, **kwargs)
+
+    def attach_module(self, module: EamfPakaModule) -> None:
+        self.offload_module = module
+
+    def _register_routes(self) -> None:
+        # The AMF's SBI surface is not needed by this reproduction's flows
+        # (the gNB reaches it over N2, modelled as direct method dispatch).
+        pass
+
+    # ---------------------------------------------------------------- NAS
+
+    def handle_nas(self, ue_id: str, message: NasMessage) -> NasMessage:
+        """N1 dispatch: one uplink NAS message in, one downlink out."""
+        self.runtime.compute(_NAS_DECODE_CYCLES)
+        if isinstance(message, RegistrationRequest):
+            return self._on_registration_request(ue_id, message)
+        if isinstance(message, AuthenticationResponse):
+            return self._on_authentication_response(ue_id, message)
+        if isinstance(message, AuthenticationFailure):
+            return self._on_authentication_failure(ue_id, message)
+        if isinstance(message, SecurityModeComplete):
+            return self._on_smc_complete(ue_id, message)
+        if isinstance(message, RegistrationComplete):
+            return self._on_registration_complete(ue_id, message)
+        if isinstance(message, ProtectedNasPdu):
+            return self._on_protected_pdu(ue_id, message)
+        if isinstance(message, PduSessionEstablishmentRequest):
+            return self._on_pdu_session_request(ue_id, message)
+        if isinstance(message, DeregistrationRequest):
+            return self._on_deregistration(ue_id, message)
+        raise AmfError(f"unexpected NAS message {message.kind} from {ue_id}")
+
+    # --------------------------------------------------------- state steps
+
+    def _on_registration_request(
+        self, ue_id: str, message: RegistrationRequest
+    ) -> NasMessage:
+        session = _UeSession(
+            ue_id=ue_id, state=_SessionState.WAIT_AUTH_RESPONSE, snn=self.snn
+        )
+        self._sessions[ue_id] = session
+
+        if message.guti is not None:
+            # Re-registration with a temporary identity: resolve the SUPI
+            # from the prior session — no SUCI/SIDF round needed.
+            supi = self._guti_to_supi.get(message.guti)
+            if supi is None:
+                session.state = _SessionState.FAILED
+                return AuthenticationReject(cause=f"unknown GUTI {message.guti!r}")
+            session.identity = {"supi": supi}
+        else:
+            session.identity = {"suci": message.suci}
+        return self._authenticate(session)
+
+    def _authenticate(
+        self, session: _UeSession, resync_info: Optional[dict] = None
+    ) -> NasMessage:
+        """Run (or re-run, for resync) the AUSF authentication request."""
+        ausf = self.peer(NFType.AUSF)
+        payload: Dict[str, object] = {"servingNetworkName": self.snn}
+        payload.update(session.identity)
+        if resync_info is not None:
+            payload["resynchronizationInfo"] = resync_info
+        try:
+            response = self.call(ausf, "POST", AUSF_UE_AUTH, payload)
+        except JsonApiError as exc:  # pragma: no cover - transport level
+            session.state = _SessionState.FAILED
+            return AuthenticationReject(cause=str(exc))
+        if not response.ok:
+            session.state = _SessionState.FAILED
+            return AuthenticationReject(
+                cause=f"AUSF refused authentication ({response.status})"
+            )
+        body = response.json()
+        session.auth_ctx_id = str(body["authCtxId"])
+        session.rand = bytes.fromhex(body["rand"])
+        session.hxres_star = bytes.fromhex(body["hxresStar"])
+        session.state = _SessionState.WAIT_AUTH_RESPONSE
+        self.runtime.compute(_NAS_ENCODE_CYCLES)
+        return AuthenticationRequest(
+            rand=session.rand, autn=bytes.fromhex(body["autn"])
+        )
+
+    def _on_authentication_response(
+        self, ue_id: str, message: AuthenticationResponse
+    ) -> NasMessage:
+        session = self._require(ue_id, _SessionState.WAIT_AUTH_RESPONSE)
+        # SEAF check: HRES* = SHA-256(RAND ‖ RES*) truncated vs HXRES*.
+        self.runtime.compute(_HRES_CHECK_CYCLES)
+        hres_star = derive_hxres_star(session.rand, message.res_star)
+        if hres_star != session.hxres_star:
+            session.state = _SessionState.FAILED
+            return AuthenticationReject(cause="HRES* mismatch at SEAF")
+
+        # Confirm with the AUSF; on success it releases K_SEAF.
+        ausf = self.peer(NFType.AUSF)
+        response = self.call(
+            ausf,
+            "POST",
+            AUSF_UE_AUTH_CONFIRM,
+            {"authCtxId": session.auth_ctx_id, "resStar": message.res_star.hex()},
+        )
+        if not response.ok or response.json().get("result") != "AUTHENTICATION_SUCCESS":
+            session.state = _SessionState.FAILED
+            return AuthenticationReject(cause="AUSF confirmation failed")
+        body = response.json()
+        session.supi = str(body["supi"])
+        kseaf = bytes.fromhex(body["kseaf"])
+
+        # Derive K_AMF — in the eAMF P-AKA module when offloaded.
+        if self.offload_module is not None:
+            session.kamf = self._derive_kamf_offloaded(kseaf, session.supi)
+        else:
+            self.runtime.compute(_KAMF_LOCAL_CYCLES)
+            session.kamf = derive_kamf(kseaf, session.supi, _ABBA)
+        k_enc, k_int = derive_nas_keys(session.kamf)
+        session.k_nas_enc, session.k_nas_int = k_enc, k_int
+
+        # Integrity-protected Security Mode Command.
+        self.runtime.compute(_NAS_ENCODE_CYCLES)
+        mac = nia2_mac(
+            session.k_nas_int, session.downlink_count, 1, 1, b"SecurityModeCommand"
+        )
+        session.downlink_count += 1
+        session.state = _SessionState.WAIT_SMC_COMPLETE
+        return SecurityModeCommand(mac=mac)
+
+    def _on_authentication_failure(
+        self, ue_id: str, message: AuthenticationFailure
+    ) -> NasMessage:
+        session = self._require(ue_id, _SessionState.WAIT_AUTH_RESPONSE)
+        if (
+            message.cause == "SYNCH_FAILURE"
+            and message.auts is not None
+            and not session.resync_attempted
+        ):
+            # TS 33.102 §6.3.5: forward AUTS to the home network, which
+            # verifies it (inside the eUDM enclave when offloaded), resets
+            # the SQN and issues a fresh challenge.
+            session.resync_attempted = True
+            return self._authenticate(
+                session,
+                resync_info={
+                    "rand": session.rand.hex(),
+                    "auts": message.auts.hex(),
+                },
+            )
+        session.state = _SessionState.FAILED
+        return AuthenticationReject(cause=f"UE reported {message.cause}")
+
+    def _on_smc_complete(self, ue_id: str, message: SecurityModeComplete) -> NasMessage:
+        session = self._require(ue_id, _SessionState.WAIT_SMC_COMPLETE)
+        expected = nia2_mac(
+            session.k_nas_int, session.uplink_count, 1, 0, b"SecurityModeComplete"
+        )
+        session.uplink_count += 1
+        if message.mac != expected:
+            session.state = _SessionState.FAILED
+            return AuthenticationReject(cause="SMC Complete MAC invalid")
+        self.runtime.compute(_GUTI_ALLOC_CYCLES)
+        session.guti = self._allocate_guti()
+        self._guti_to_supi[session.guti] = session.supi
+        self.runtime.compute(_NAS_ENCODE_CYCLES)
+        mac = nia2_mac(
+            session.k_nas_int,
+            session.downlink_count,
+            1,
+            1,
+            b"RegistrationAccept" + session.guti.encode(),
+        )
+        session.downlink_count += 1
+        session.state = _SessionState.WAIT_REG_COMPLETE
+        return RegistrationAccept(guti=session.guti, mac=mac)
+
+    def _on_registration_complete(
+        self, ue_id: str, message: RegistrationComplete
+    ) -> NasMessage:
+        session = self._require(ue_id, _SessionState.WAIT_REG_COMPLETE)
+        expected = nia2_mac(
+            session.k_nas_int, session.uplink_count, 1, 0, b"RegistrationComplete"
+        )
+        session.uplink_count += 1
+        if message.mac != expected:
+            session.state = _SessionState.FAILED
+            return AuthenticationReject(cause="Registration Complete MAC invalid")
+        session.state = _SessionState.REGISTERED
+        # Post-registration NAS signalling travels ciphered over the
+        # secure channel (128-NEA2 + 128-NIA2).
+        session.secure_channel = SecureNasChannel(
+            session.k_nas_enc, session.k_nas_int, bearer=2,
+            send_direction=DOWNLINK,
+        )
+        # No downlink NAS response to Registration Complete; return an
+        # acknowledgement marker for the N2 transport.
+        return RegistrationAccept(guti=session.guti, mac=b"")
+
+    def _on_protected_pdu(self, ue_id: str, pdu: ProtectedNasPdu) -> NasMessage:
+        """Unwrap a ciphered NAS PDU, dispatch the inner message, and
+        cipher the response."""
+        session = self._require(ue_id, _SessionState.REGISTERED)
+        if session.secure_channel is None:  # pragma: no cover - invariant
+            raise AmfError(f"{ue_id}: registered session without NAS security")
+        self.runtime.compute(_NAS_DECODE_CYCLES)
+        try:
+            inner = session.secure_channel.unprotect(pdu)
+        except NasSecurityError as error:
+            session.state = _SessionState.FAILED
+            return AuthenticationReject(cause=f"NAS security failure: {error}")
+        if isinstance(inner, PduSessionEstablishmentRequest):
+            response = self._on_pdu_session_request(ue_id, inner)
+            return session.secure_channel.protect(response)
+        raise AmfError(f"unexpected ciphered NAS message {inner.kind}")
+
+    def _on_pdu_session_request(
+        self, ue_id: str, message: PduSessionEstablishmentRequest
+    ) -> NasMessage:
+        session = self._require(ue_id, _SessionState.REGISTERED)
+        smf = self.peer(NFType.SMF)
+        response = self.call(
+            smf,
+            "POST",
+            SMF_PDU_SESSION,
+            {"supi": session.supi, "sessionId": message.session_id, "dnn": message.dnn},
+        )
+        if not response.ok:
+            raise AmfError(f"SMF rejected PDU session: {response.status}")
+        body = response.json()
+        self.runtime.compute(_NAS_ENCODE_CYCLES)
+        return PduSessionEstablishmentAccept(
+            session_id=message.session_id,
+            ue_address=str(body["ueAddress"]),
+            qos_flow=str(body["qosFlow"]),
+        )
+
+    def _on_deregistration(self, ue_id: str, message: DeregistrationRequest) -> NasMessage:
+        """UE-initiated deregistration: verify the MAC, release the
+        context, retire the GUTI."""
+        session = self._require(ue_id, _SessionState.REGISTERED)
+        expected = nia2_mac(
+            session.k_nas_int, session.uplink_count, 1, 0, b"DeregistrationRequest"
+        )
+        session.uplink_count += 1
+        if message.mac != expected:
+            return AuthenticationReject(cause="Deregistration MAC invalid")
+        mac = nia2_mac(
+            session.k_nas_int, session.downlink_count, 1, 1, b"DeregistrationAccept"
+        )
+        self._guti_to_supi.pop(session.guti, None)
+        self._sessions.pop(ue_id, None)
+        return DeregistrationAccept(mac=mac)
+
+    # ------------------------------------------------------------- helpers
+
+    def _require(self, ue_id: str, expected: _SessionState) -> _UeSession:
+        session = self._sessions.get(ue_id)
+        if session is None:
+            raise AmfError(f"no NAS session for {ue_id}")
+        if session.state is not expected:
+            raise AmfError(
+                f"{ue_id}: NAS message out of order (state {session.state.value}, "
+                f"expected {expected.value})"
+            )
+        return session
+
+    def _allocate_guti(self) -> str:
+        self._guti_counter += 1
+        tmsi = self.host.rng.stream("amf.guti").getrandbits(32)
+        return f"5g-guti-00101-{self._guti_counter:04d}-{tmsi:08x}"
+
+    def _derive_kamf_offloaded(self, kseaf: bytes, supi: str) -> bytes:
+        module = self.offload_module
+        assert module is not None
+        connection = self._connections.get(module.server.name)
+        if connection is None or not connection.open:
+            connection = self.client.connect(module.server)
+            self._connections[module.server.name] = connection
+        payload = {"kseaf": kseaf.hex(), "supi": supi, "abba": _ABBA.hex()}
+        response = self.client.request(
+            connection, "POST", EAMF_DERIVE_KAMF,
+            body=json.dumps(payload, sort_keys=True).encode(),
+        )
+        if not response.ok:
+            raise AmfError(f"eAMF module error: {response.status}")
+        return bytes.fromhex(response.json()["kamf"])
+
+    # ----------------------------------------------------------- inspection
+
+    def session_state(self, ue_id: str) -> str:
+        session = self._sessions.get(ue_id)
+        return session.state.value if session else "none"
+
+    def registered_count(self) -> int:
+        return sum(
+            1 for s in self._sessions.values() if s.state is _SessionState.REGISTERED
+        )

@@ -1,0 +1,155 @@
+"""AUSF — Authentication Server Function (home network).
+
+Handles Nausf_UEAuthentication: verifies the serving network is
+authorised, obtains the HE AV from the UDM, derives the SE AV (HXRES* +
+K_SEAF — in the eAUSF P-AKA module when offloaded, Fig 5 step 3), stores
+the authentication context, and on confirmation compares the UE's RES*
+against XRES* before releasing K_SEAF to the SEAF/AMF.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.fivegc.aka import HomeAuthVector, derive_se_av
+from repro.fivegc.nf_base import NetworkFunction
+from repro.net.rest import JsonApiError, json_body, require_hex, require_str
+from repro.net.sbi import (
+    AUSF_UE_AUTH,
+    AUSF_UE_AUTH_CONFIRM,
+    EAUSF_DERIVE_SE_AV,
+    NFType,
+    UDM_UE_AUTH_GET,
+)
+from repro.paka.modules import EausfPakaModule
+
+_SE_AV_LOCAL_CYCLES = EausfPakaModule.COMPUTE_CYCLES
+_SN_AUTHZ_CYCLES = 14_000  # serving-network authorisation check
+_CONFIRM_CYCLES = 12_000  # XRES* comparison + context update
+
+
+@dataclass
+class _AuthContext:
+    """Server-side state between authenticate and confirm."""
+
+    supi: str
+    rand: bytes
+    xres_star: bytes
+    kseaf: bytes
+    snn: str
+    confirmed: bool = False
+
+
+class Ausf(NetworkFunction):
+    NF_TYPE = NFType.AUSF
+
+    def __init__(self, *args, allowed_snns: Optional[set] = None, **kwargs) -> None:
+        self.offload_module: Optional[EausfPakaModule] = None
+        self.allowed_snns = allowed_snns  # None = allow any (lab PLMN)
+        self._contexts: Dict[str, _AuthContext] = {}
+        self._next_ctx = 0
+        super().__init__(*args, **kwargs)
+
+    def attach_module(self, module: EausfPakaModule) -> None:
+        self.offload_module = module
+
+    # ------------------------------------------------------------- routing
+
+    def _register_routes(self) -> None:
+        self._route_json("POST", AUSF_UE_AUTH, self._handle_authenticate)
+        self._route_json("POST", AUSF_UE_AUTH_CONFIRM, self._handle_confirm)
+
+    def _handle_authenticate(self, request, context):
+        data = json_body(request)
+        snn = require_str(data, "servingNetworkName")
+        context.runtime.compute(_SN_AUTHZ_CYCLES)
+        if self.allowed_snns is not None and snn not in self.allowed_snns:
+            raise JsonApiError(403, f"serving network {snn!r} not authorised")
+
+        # Forward to the UDM (identity and any resync token untouched).
+        udm = self.peer(NFType.UDM)
+        forward = {"servingNetworkName": snn}
+        for key in ("supi", "suci", "resynchronizationInfo"):
+            if key in data:
+                forward[key] = data[key]
+        udm_response = self.call(udm, "POST", UDM_UE_AUTH_GET, forward)
+        if not udm_response.ok:
+            raise JsonApiError(udm_response.status, "UDM rejected authentication")
+        he = udm_response.json()
+        he_av = HomeAuthVector(
+            rand=bytes.fromhex(he["rand"]),
+            autn=bytes.fromhex(he["autn"]),
+            xres_star=bytes.fromhex(he["xresStar"]),
+            kausf=bytes.fromhex(he["kausf"]),
+        )
+
+        if self.offload_module is not None:
+            hxres_star, kseaf = self._derive_offloaded(he_av, snn)
+        else:
+            context.runtime.compute(_SE_AV_LOCAL_CYCLES)
+            se_av, kseaf = derive_se_av(he_av, snn.encode())
+            hxres_star = se_av.hxres_star
+
+        self._next_ctx += 1
+        ctx_id = f"authctx-{self._next_ctx}"
+        self._contexts[ctx_id] = _AuthContext(
+            supi=str(he["supi"]), rand=he_av.rand,
+            xres_star=he_av.xres_star, kseaf=kseaf, snn=snn,
+        )
+        return self._ok(
+            {
+                "authCtxId": ctx_id,
+                "rand": he_av.rand.hex(),
+                "autn": he_av.autn.hex(),
+                "hxresStar": hxres_star.hex(),
+            },
+            status=201,
+        )
+
+    def _handle_confirm(self, request, context):
+        data = json_body(request)
+        ctx_id = require_str(data, "authCtxId")
+        res_star = require_hex(data, "resStar", 16)
+        auth_context = self._contexts.get(ctx_id)
+        if auth_context is None:
+            raise JsonApiError(404, f"unknown auth context {ctx_id!r}")
+        context.runtime.compute(_CONFIRM_CYCLES)
+        if res_star != auth_context.xres_star:
+            self._contexts.pop(ctx_id)
+            return self._ok({"result": "AUTHENTICATION_FAILURE"}, status=200)
+        auth_context.confirmed = True
+        return self._ok(
+            {
+                "result": "AUTHENTICATION_SUCCESS",
+                "supi": auth_context.supi,
+                "kseaf": auth_context.kseaf.hex(),
+            }
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _derive_offloaded(self, he_av: HomeAuthVector, snn: str) -> "tuple[bytes, bytes]":
+        """Fig 5: HXRES* calculation + K_SEAF derivation in eAUSF P-AKA."""
+        module = self.offload_module
+        assert module is not None
+        connection = self._connections.get(module.server.name)
+        if connection is None or not connection.open:
+            connection = self.client.connect(module.server)
+            self._connections[module.server.name] = connection
+        payload = {
+            "rand": he_av.rand.hex(),
+            "autn": he_av.autn.hex(),
+            "xresStar": he_av.xres_star.hex(),
+            "kausf": he_av.kausf.hex(),
+            "snn": snn,
+        }
+        response = self.client.request(
+            connection, "POST", EAUSF_DERIVE_SE_AV,
+            body=json.dumps(payload, sort_keys=True).encode(),
+        )
+        if not response.ok:
+            raise JsonApiError(502, f"eAUSF module error: {response.status}")
+        body = response.json()
+        return bytes.fromhex(body["hxresStar"]), bytes.fromhex(body["kseaf"])

@@ -1,0 +1,151 @@
+"""Base class for the core VNFs.
+
+Each VNF owns an HTTPS server on the SBI bridge, an HTTPS client for
+calling peers, and a keep-alive connection cache (the OAI VNFs hold SBI
+connections open, which is why the paper's *stable* response times are
+the steady-state metric).  VNFs register with the NRF at startup and
+discover peers through it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.container.network import BridgeNetwork
+from repro.hw.host import PhysicalHost
+from repro.net.http import HttpClient, HttpConnection, HttpResponse, HttpServer
+from repro.net.rest import JsonApiError, error_response, json_response
+from repro.net.sbi import NFProfile, NFType
+from repro.runtime.base import Runtime
+from repro.runtime.native import NativeRuntime
+
+
+class NetworkFunction:
+    """One control-plane VNF on the SBI bridge."""
+
+    NF_TYPE = NFType.NRF  # overridden by subclasses
+
+    def __init__(
+        self,
+        name: str,
+        host: PhysicalHost,
+        network: BridgeNetwork,
+        runtime: Optional[Runtime] = None,
+    ) -> None:
+        self.name = name
+        self.host = host
+        self.network = network
+        self.runtime = runtime or NativeRuntime(name, host)
+        self.server = HttpServer(name=name, runtime=self.runtime, network=network)
+        self.client = HttpClient(
+            name=f"{name}-client", runtime=self.runtime, network=network
+        )
+        self._connections: Dict[str, HttpConnection] = {}
+        self._peers: Dict[NFType, "NetworkFunction"] = {}
+        self.profile = NFProfile(
+            nf_instance_id=f"{name}-0001",
+            nf_type=self.NF_TYPE,
+            endpoint_name=name,
+            services=[],
+        )
+        self._register_routes()
+        self.server.start()
+
+    # ------------------------------------------------------------- routing
+
+    def _register_routes(self) -> None:
+        """Subclasses register their SBI endpoints here."""
+
+    def _route_json(self, method: str, path: str, handler) -> None:
+        """Register a JSON handler with uniform error mapping."""
+
+        def wrapped(request, context) -> HttpResponse:
+            try:
+                return handler(request, context)
+            except JsonApiError as error:
+                return error_response(error)
+
+        self.server.route(method, path, wrapped)
+
+    # ----------------------------------------------------- peer connections
+
+    def connect_peer(self, peer: "NetworkFunction") -> HttpConnection:
+        """Open (or reuse) a keep-alive mutual-TLS connection to ``peer``."""
+        connection = self._connections.get(peer.name)
+        if connection is None or not connection.open:
+            connection = self.client.connect(peer.server)
+            self._connections[peer.name] = connection
+        return connection
+
+    def call(
+        self,
+        peer: "NetworkFunction",
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+    ) -> HttpResponse:
+        """One SBI request to a peer over the cached connection."""
+        connection = self.connect_peer(peer)
+        body = json.dumps(payload or {}, sort_keys=True).encode()
+        return self.client.request(connection, method, path, body=body)
+
+    # -------------------------------------------------------- NRF plumbing
+
+    def register_with(self, nrf: "NetworkFunction") -> None:
+        """Register this NF's profile with the NRF (Nnrf_NFManagement)."""
+        from repro.net.sbi import NRF_REGISTER
+
+        response = self.call(nrf, "PUT", NRF_REGISTER, self.profile.to_dict())
+        if not response.ok:
+            raise RuntimeError(f"{self.name}: NRF registration failed: {response.status}")
+        self._peers[NFType.NRF] = nrf
+
+    def discover(self, nf_type: NFType, registry: Dict[str, "NetworkFunction"]) -> "NetworkFunction":
+        """Discover a peer NF of ``nf_type`` through the NRF and bind it.
+
+        ``registry`` maps endpoint names to live NF objects (the simulation's
+        address resolution; the NRF response supplies the endpoint name).
+        """
+        from repro.net.sbi import NRF_DISCOVER
+
+        nrf = self._peers.get(NFType.NRF)
+        if nrf is None:
+            raise RuntimeError(f"{self.name}: not registered with an NRF yet")
+        response = self.call(
+            nrf, "GET", NRF_DISCOVER, {"targetNfType": nf_type.value}
+        )
+        if not response.ok:
+            raise RuntimeError(
+                f"{self.name}: discovery of {nf_type.value} failed: {response.status}"
+            )
+        profiles = response.json().get("nfInstances", [])
+        if not profiles:
+            raise RuntimeError(f"{self.name}: no {nf_type.value} instances registered")
+        endpoint = str(profiles[0]["endpoint"])
+        peer = registry.get(endpoint)
+        if peer is None:
+            raise RuntimeError(f"{self.name}: discovered unknown endpoint {endpoint!r}")
+        self._peers[nf_type] = peer
+        return peer
+
+    def peer(self, nf_type: NFType) -> "NetworkFunction":
+        try:
+            return self._peers[nf_type]
+        except KeyError:
+            raise RuntimeError(f"{self.name}: no bound peer of type {nf_type.value}")
+
+    # ----------------------------------------------------------- lifecycle
+
+    def shutdown(self) -> None:
+        for connection in self._connections.values():
+            if connection.open:
+                self.client.close(connection)
+        self._connections.clear()
+        self.server.stop()
+        self.runtime.shutdown()
+
+    # Convenience used by subclasses.
+    @staticmethod
+    def _ok(payload: dict, status: int = 200) -> HttpResponse:
+        return json_response(payload, status=status)

@@ -1,0 +1,60 @@
+"""NRF — Network Functions Repository Function.
+
+Stores NF profiles and answers discovery queries (Nnrf_NFManagement /
+Nnrf_NFDiscovery), orchestrating mutual discovery between the VNFs of the
+slice exactly as in Fig 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.fivegc.nf_base import NetworkFunction
+from repro.net.rest import JsonApiError, json_body
+from repro.net.sbi import NFProfile, NFType, NRF_DISCOVER, NRF_REGISTER
+
+
+class Nrf(NetworkFunction):
+    NF_TYPE = NFType.NRF
+
+    def __init__(self, *args, **kwargs) -> None:
+        self._registry: Dict[str, NFProfile] = {}
+        super().__init__(*args, **kwargs)
+
+    def _register_routes(self) -> None:
+        self._route_json("PUT", NRF_REGISTER, self._handle_register)
+        self._route_json("GET", NRF_DISCOVER, self._handle_discover)
+
+    # ------------------------------------------------------------ handlers
+
+    def _handle_register(self, request, context):
+        data = json_body(request)
+        try:
+            profile = NFProfile.from_dict(data)
+        except (KeyError, ValueError) as exc:
+            raise JsonApiError(400, f"bad NF profile: {exc}")
+        context.runtime.compute(6_000)  # profile validation + store
+        self._registry[profile.nf_instance_id] = profile
+        return self._ok({"nfInstanceId": profile.nf_instance_id}, status=201)
+
+    def _handle_discover(self, request, context):
+        data = json_body(request)
+        target = data.get("targetNfType")
+        if not isinstance(target, str):
+            raise JsonApiError(400, "missing targetNfType")
+        try:
+            nf_type = NFType(target)
+        except ValueError:
+            raise JsonApiError(400, f"unknown NF type {target!r}")
+        context.runtime.compute(4_000)  # registry scan
+        matches: List[dict] = [
+            profile.to_dict()
+            for profile in self._registry.values()
+            if profile.nf_type is nf_type
+        ]
+        return self._ok({"nfInstances": matches})
+
+    # --------------------------------------------------------- inspection
+
+    def registered(self, nf_type: NFType) -> List[NFProfile]:
+        return [p for p in self._registry.values() if p.nf_type is nf_type]

@@ -1,0 +1,126 @@
+"""UDR — Unified Data Repository.
+
+The credential storage unit: per-subscriber long-term key K, operator
+constant OPc, the SQN counter, and the home-network ECIES private key for
+SUCI de-concealment.  The UDM fetches authentication subscription data
+from here (Nudr_DataRepository) and writes back SQN increments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.fivegc.nf_base import NetworkFunction
+from repro.net.rest import JsonApiError, json_body, require_int, require_str
+from repro.net.sbi import NFType, UDR_AUTH_PEEK, UDR_AUTH_RESYNC, UDR_AUTH_SUBSCRIPTION
+
+
+@dataclass
+class AuthSubscription:
+    """One subscriber's authentication data."""
+
+    supi: str
+    k: bytes
+    opc: bytes
+    sqn: int = 0
+    amf_field: bytes = bytes.fromhex("8000")
+
+    def __post_init__(self) -> None:
+        if len(self.k) != 16:
+            raise ValueError("K must be 16 bytes")
+        if len(self.opc) != 16:
+            raise ValueError("OPc must be 16 bytes")
+
+    @property
+    def sqn_bytes(self) -> bytes:
+        return self.sqn.to_bytes(6, "big")
+
+    def advance_sqn(self) -> bytes:
+        """Increment and return the new SQN (per-authentication step)."""
+        self.sqn += 1
+        return self.sqn_bytes
+
+
+class Udr(NetworkFunction):
+    NF_TYPE = NFType.UDR
+
+    def __init__(self, *args, hn_private_key: Optional[bytes] = None, **kwargs) -> None:
+        self._subscribers: Dict[str, AuthSubscription] = {}
+        self.hn_private_key = hn_private_key or bytes(32)
+        super().__init__(*args, **kwargs)
+
+    # --------------------------------------------------------- provisioning
+
+    def provision(self, subscription: AuthSubscription) -> None:
+        """Add a subscriber (operator provisioning, not an SBI call)."""
+        self._subscribers[subscription.supi] = subscription
+
+    def subscriber(self, supi: str) -> AuthSubscription:
+        try:
+            return self._subscribers[supi]
+        except KeyError:
+            raise KeyError(f"UDR: unknown subscriber {supi!r}")
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    # ------------------------------------------------------------- routing
+
+    def _register_routes(self) -> None:
+        self._route_json("POST", UDR_AUTH_SUBSCRIPTION, self._handle_fetch)
+        self._route_json("POST", UDR_AUTH_PEEK, self._handle_peek)
+        self._route_json("POST", UDR_AUTH_RESYNC, self._handle_resync)
+
+    def _handle_fetch(self, request, context):
+        """Fetch auth data for a SUPI, advancing the SQN counter."""
+        data = json_body(request)
+        supi = require_str(data, "supi")
+        record = self._subscribers.get(supi)
+        if record is None:
+            raise JsonApiError(404, f"unknown subscriber {supi!r}")
+        context.runtime.compute(11_000)  # DB lookup + row serialization
+        sqn = record.advance_sqn()
+        return self._ok(
+            {
+                "supi": record.supi,
+                "k": record.k.hex(),
+                "opc": record.opc.hex(),
+                "sqn": sqn.hex(),
+                "amfField": record.amf_field.hex(),
+            }
+        )
+
+    def _handle_peek(self, request, context):
+        """Read auth data *without* consuming a SQN (resync verification)."""
+        data = json_body(request)
+        supi = require_str(data, "supi")
+        record = self._subscribers.get(supi)
+        if record is None:
+            raise JsonApiError(404, f"unknown subscriber {supi!r}")
+        context.runtime.compute(9_000)
+        return self._ok(
+            {
+                "supi": record.supi,
+                "k": record.k.hex(),
+                "opc": record.opc.hex(),
+                "sqn": record.sqn_bytes.hex(),
+                "amfField": record.amf_field.hex(),
+            }
+        )
+
+    def _handle_resync(self, request, context):
+        """Resynchronise the network-side SQN to the UE's SQN_MS
+        (TS 33.102 §6.3.5, after a verified AUTS)."""
+        data = json_body(request)
+        supi = require_str(data, "supi")
+        sqn_ms = require_int(data, "sqnMs")
+        record = self._subscribers.get(supi)
+        if record is None:
+            raise JsonApiError(404, f"unknown subscriber {supi!r}")
+        if not 0 <= sqn_ms < 1 << 48:
+            raise JsonApiError(400, f"SQN out of range: {sqn_ms}")
+        context.runtime.compute(8_000)
+        record.sqn = sqn_ms
+        return self._ok({"supi": supi, "sqn": record.sqn_bytes.hex()})

@@ -1,0 +1,50 @@
+"""UPF — User Plane Function.
+
+The data-session anchor.  The control-plane experiments only exercise its
+N4 interface (session programming from the SMF); a minimal data-path
+forwarding counter exists so examples can show user-plane traffic after
+registration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.fivegc.nf_base import NetworkFunction
+from repro.net.rest import json_body, require_str
+from repro.net.sbi import NFType
+
+_N4_PROGRAM_CYCLES = 30_000  # PDR/FAR install
+
+
+class Upf(NetworkFunction):
+    NF_TYPE = NFType.UPF
+
+    def __init__(self, *args, **kwargs) -> None:
+        self._forwarding: Dict[str, str] = {}
+        self.packets_forwarded = 0
+        super().__init__(*args, **kwargs)
+
+    def _register_routes(self) -> None:
+        self._route_json("POST", "/n4/v1/sessions", self._handle_n4)
+
+    def _handle_n4(self, request, context):
+        data = json_body(request)
+        ue_address = require_str(data, "ueAddress")
+        dnn = require_str(data, "dnn")
+        context.runtime.compute(_N4_PROGRAM_CYCLES)
+        self._forwarding[ue_address] = dnn
+        return self._ok({"installed": ue_address}, status=201)
+
+    # ------------------------------------------------------------ data path
+
+    def forward_packet(self, ue_address: str, nbytes: int) -> bool:
+        """Forward one uplink packet if a session exists for the address."""
+        if ue_address not in self._forwarding:
+            return False
+        self.runtime.compute(2_200 + 0.3 * nbytes)
+        self.packets_forwarded += 1
+        return True
+
+    def session_count(self) -> int:
+        return len(self._forwarding)

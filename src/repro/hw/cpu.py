@@ -1,0 +1,69 @@
+"""CPU model: cycle→time conversion and SGX capability flags.
+
+Latency costs across the SGX and Gramine models are expressed in CPU
+cycles (matching how the literature reports enclave transition costs) and
+converted to simulated nanoseconds through the CPU's clock frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.clock import SimClock
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static description of a CPU package."""
+
+    model: str
+    frequency_hz: float
+    physical_cores: int
+    sgx_version: int  # 0 = no SGX, 1 = SGXv1, 2 = SGXv2 (EDMM capable)
+    max_epc_bytes: int  # per-package EPC limit
+
+    @property
+    def sgx_capable(self) -> bool:
+        return self.sgx_version >= 1
+
+
+# The paper's testbed CPU: Intel Xeon Silver 4314 (SGXv2, 8 GB EPC/package).
+XEON_SILVER_4314 = CpuSpec(
+    model="Intel Xeon Silver 4314",
+    frequency_hz=2.40e9,
+    physical_cores=16,
+    sgx_version=2,
+    max_epc_bytes=8 * 1024**3,
+)
+
+
+class Cpu:
+    """A CPU package bound to a simulated clock.
+
+    All cost-model code converts cycles to time through :meth:`spend_cycles`
+    so that a different CPU spec transparently rescales every latency.
+    """
+
+    def __init__(self, spec: CpuSpec, clock: SimClock) -> None:
+        self.spec = spec
+        self.clock = clock
+        self._cycles_spent = 0
+
+    @property
+    def cycles_spent(self) -> int:
+        """Total cycles accounted on this package since construction."""
+        return self._cycles_spent
+
+    def spend_cycles(self, cycles: float) -> None:
+        """Advance simulated time by ``cycles`` at this CPU's frequency."""
+        if cycles < 0:
+            raise ValueError(f"negative cycle cost: {cycles}")
+        self._cycles_spent += int(cycles)
+        self.clock.advance_cycles(cycles, self.spec.frequency_hz)
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        """Convert a cycle count to nanoseconds without spending them."""
+        return cycles * 1e9 / self.spec.frequency_hz
+
+    def ns_to_cycles(self, ns: float) -> float:
+        return ns * self.spec.frequency_hz / 1e9

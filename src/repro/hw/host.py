@@ -1,0 +1,68 @@
+"""Physical host: CPU packages + RAM + shared simulation services.
+
+A host is the unit of co-residency in the threat model: containers,
+enclaves and attacker processes deployed on the same host share its clock,
+RNG and memory.  The paper's deployment policy requires each P-AKA module
+to be co-located with its parent VNF on the same host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.hw.cpu import Cpu, CpuSpec, XEON_SILVER_4314
+from repro.hw.memory import Ram
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLog
+from repro.sim.rng import RngService
+
+
+@dataclass
+class PhysicalHost:
+    """A COTS server in the NFV infrastructure."""
+
+    name: str
+    clock: SimClock
+    rng: RngService
+    events: EventLog
+    cpus: List[Cpu] = field(default_factory=list)
+    ram: Optional[Ram] = None
+
+    @property
+    def cpu(self) -> Cpu:
+        """Primary CPU package (experiments pin to one package)."""
+        if not self.cpus:
+            raise RuntimeError(f"host {self.name!r} has no CPU")
+        return self.cpus[0]
+
+    @property
+    def sgx_capable(self) -> bool:
+        return any(c.spec.sgx_capable for c in self.cpus)
+
+    @property
+    def total_epc_bytes(self) -> int:
+        """Combined EPC across packages (paper testbed: 16 GB)."""
+        return sum(c.spec.max_epc_bytes for c in self.cpus if c.spec.sgx_capable)
+
+
+def paper_testbed_host(
+    name: str = "poweredge-r450",
+    seed: int = 0,
+    cpu_spec: CpuSpec = XEON_SILVER_4314,
+    n_cpus: int = 2,
+    ram_bytes: int = 512 * 1024**3,
+) -> PhysicalHost:
+    """Build the paper's Dell PowerEdge R450 testbed host.
+
+    Two SGXv2-capable Xeon Silver 4314 packages, 512 GB DDR4 and a 16 GB
+    combined EPC carve-out.
+    """
+    clock = SimClock()
+    rng = RngService(seed)
+    events = EventLog()
+    host = PhysicalHost(name=name, clock=clock, rng=rng, events=events)
+    host.cpus = [Cpu(cpu_spec, clock) for _ in range(n_cpus)]
+    prm = sum(spec.max_epc_bytes for spec in [cpu_spec] * n_cpus if spec.sgx_capable)
+    host.ram = Ram(capacity_bytes=ram_bytes, prm_bytes=prm)
+    return host

@@ -1,0 +1,69 @@
+"""RAM and memory-region model.
+
+SGX reserves a slice of physical memory at boot (the Processor Reserved
+Memory, PRM), most of which forms the Enclave Page Cache (EPC).  We track
+regions and allocations so the EPC pager (:mod:`repro.sgx.epc`) and the
+attack simulator (:mod:`repro.security`) can reason about what memory is
+readable by whom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+PAGE_SIZE = 4096
+
+
+class OutOfMemoryError(Exception):
+    """Raised when an allocation exceeds the region's capacity."""
+
+
+@dataclass
+class MemoryRegion:
+    """A named region of physical memory with allocation accounting."""
+
+    name: str
+    capacity_bytes: int
+    encrypted: bool = False
+    _allocations: Dict[str, int] = field(default_factory=dict, repr=False)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def allocate(self, owner: str, nbytes: int) -> None:
+        """Allocate ``nbytes`` for ``owner`` (accumulates per owner)."""
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        if nbytes > self.free_bytes:
+            raise OutOfMemoryError(
+                f"region {self.name!r}: requested {nbytes} B, "
+                f"only {self.free_bytes} B free of {self.capacity_bytes} B"
+            )
+        self._allocations[owner] = self._allocations.get(owner, 0) + nbytes
+
+    def release(self, owner: str) -> int:
+        """Free everything owned by ``owner``; returns bytes released."""
+        return self._allocations.pop(owner, 0)
+
+    def owned_by(self, owner: str) -> int:
+        return self._allocations.get(owner, 0)
+
+
+class Ram:
+    """Host DRAM with an optional PRM carve-out for SGX."""
+
+    def __init__(self, capacity_bytes: int, prm_bytes: int = 0) -> None:
+        if prm_bytes > capacity_bytes:
+            raise ValueError("PRM cannot exceed total RAM")
+        self.general = MemoryRegion("ram.general", capacity_bytes - prm_bytes)
+        self.prm = MemoryRegion("ram.prm", prm_bytes, encrypted=True)
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.general.capacity_bytes + self.prm.capacity_bytes

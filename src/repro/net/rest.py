@@ -1,0 +1,74 @@
+"""REST conveniences over the HTTP layer.
+
+The 5G SBI exchanges JSON bodies; these helpers keep the VNF and P-AKA
+endpoint code terse while staying byte-faithful (hex-encoded octet
+strings for the cryptographic parameters, matching Table I's byte
+accounting on the wire model).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.net.http import HttpRequest, HttpResponse
+
+
+class JsonApiError(Exception):
+    """A malformed or semantically invalid API payload."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def json_response(payload: Dict[str, Any], status: int = 200) -> HttpResponse:
+    body = json.dumps(payload, sort_keys=True).encode()
+    return HttpResponse(
+        status=status, body=body, headers={"Content-Type": "application/json"}
+    )
+
+
+def error_response(error: JsonApiError) -> HttpResponse:
+    return json_response({"error": error.message}, status=error.status)
+
+
+def json_body(request: HttpRequest) -> Dict[str, Any]:
+    try:
+        data = json.loads(request.body.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise JsonApiError(400, f"body is not valid JSON: {exc}")
+    if not isinstance(data, dict):
+        raise JsonApiError(400, "JSON body must be an object")
+    return data
+
+
+def require_hex(data: Dict[str, Any], field: str, nbytes: int) -> bytes:
+    """Fetch a hex-encoded octet string of exactly ``nbytes`` bytes."""
+    value = data.get(field)
+    if not isinstance(value, str):
+        raise JsonApiError(400, f"missing or non-string field {field!r}")
+    try:
+        raw = bytes.fromhex(value)
+    except ValueError:
+        raise JsonApiError(400, f"field {field!r} is not valid hex")
+    if len(raw) != nbytes:
+        raise JsonApiError(
+            400, f"field {field!r} must be {nbytes} bytes, got {len(raw)}"
+        )
+    return raw
+
+
+def require_str(data: Dict[str, Any], field: str) -> str:
+    value = data.get(field)
+    if not isinstance(value, str) or not value:
+        raise JsonApiError(400, f"missing or empty field {field!r}")
+    return value
+
+
+def require_int(data: Dict[str, Any], field: str) -> int:
+    value = data.get(field)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise JsonApiError(400, f"missing or non-integer field {field!r}")
+    return value

@@ -1,0 +1,103 @@
+"""Table I — the enclave I/O contracts of the P-AKA modules.
+
+The paper's Table I fixes, for each module, the parameters crossing the
+enclave boundary and their sizes, plus the functions executed inside.
+These contracts are the reproduction's source of truth: the endpoint
+handlers validate against them, the wire-cost model sums them, and
+``tests/paka/test_table1_contract.py`` asserts them byte-for-byte.
+
+Spec note: the paper lists HXRES* as 8 bytes and SNN as 2; TS 33.501
+defines HXRES* as 16 bytes and the SNN as a variable-length string
+(~32 bytes for a 3-digit MCC / 2-digit MNC).  We implement the spec and
+record the deviation here and in DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class IoParam:
+    """One enclave input or output parameter."""
+
+    name: str
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class EnclaveIoContract:
+    """One row of Table I."""
+
+    module: str
+    inputs: Tuple[IoParam, ...]
+    outputs: Tuple[IoParam, ...]
+    executes: Tuple[str, ...]
+
+    @property
+    def input_bytes(self) -> int:
+        return sum(p.nbytes for p in self.inputs)
+
+    @property
+    def output_bytes(self) -> int:
+        return sum(p.nbytes for p in self.outputs)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.input_bytes + self.output_bytes
+
+    def input_size(self, name: str) -> int:
+        for param in self.inputs:
+            if param.name == name:
+                return param.nbytes
+        raise KeyError(f"{self.module}: no input parameter {name!r}")
+
+    def output_size(self, name: str) -> int:
+        for param in self.outputs:
+            if param.name == name:
+                return param.nbytes
+        raise KeyError(f"{self.module}: no output parameter {name!r}")
+
+
+EUDM_CONTRACT = EnclaveIoContract(
+    module="eUDM",
+    inputs=(
+        IoParam("OPc", 16),
+        IoParam("RAND", 16),
+        IoParam("SQN", 6),
+        IoParam("AMFid", 2),
+    ),
+    outputs=(
+        IoParam("RAND", 16),
+        IoParam("XRES*", 16),
+        IoParam("KAUSF", 32),
+        IoParam("AUTN", 16),
+    ),
+    executes=("f1", "f2345", "KAUSF", "AUTN"),
+)
+
+EAUSF_CONTRACT = EnclaveIoContract(
+    module="eAUSF",
+    inputs=(
+        IoParam("RAND", 16),
+        IoParam("XRES*", 16),
+        # Paper Table I: SNN listed as 2 bytes; spec SNN is a string of
+        # ~32 bytes.  We keep the spec size (see module docstring).
+        IoParam("SNN", 32),
+        IoParam("KAUSF", 32),
+    ),
+    outputs=(
+        IoParam("KSEAF", 32),
+        # Paper Table I: 8 bytes; TS 33.501 A.5: 16 bytes (see docstring).
+        IoParam("HXRES*", 16),
+    ),
+    executes=("KSEAF", "HXRES*"),
+)
+
+EAMF_CONTRACT = EnclaveIoContract(
+    module="eAMF",
+    inputs=(IoParam("KSEAF", 32),),
+    outputs=(IoParam("KAMF", 32),),
+    executes=("KAMF",),
+)

@@ -1,0 +1,159 @@
+"""Attested subscriber-key provisioning (the paper's §VI pattern).
+
+When the P-AKA modules run on third-party infrastructure (KI 20), the
+operator must not hand subscriber keys to just anything that answers on
+the right port.  The provisioning flow gates on remote attestation:
+
+1. the module generates an ephemeral X25519 keypair *inside* the enclave
+   and obtains a quote whose report data binds the public key,
+2. the operator verifies the quote — genuine platform, expected
+   MRENCLAVE/MRSIGNER from the signed GSC build — and only then runs the
+   key exchange,
+3. subscriber keys travel AEAD-protected under the agreed secret and are
+   unsealed only inside the attested enclave.
+
+A tampered module measures differently, a fake platform has no
+provisioned attestation key, and an on-path attacker sees ciphertext —
+each failure mode is exercised by the test-suite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.crypto.aes import aes128_ctr
+from repro.crypto.suci import x25519, x25519_public_key
+from repro.gramine.libos import GramineEnclaveRuntime
+from repro.sgx.attestation import AttestationService, Quote, QuotingEnclave, verify_quote
+from repro.sgx.errors import AttestationError
+
+
+class ProvisioningError(Exception):
+    """Attestation or channel-protection failure during provisioning."""
+
+
+@dataclass(frozen=True)
+class ProvisioningOffer:
+    """What the module presents to the operator: pubkey + binding quote."""
+
+    module_public_key: bytes
+    quote: Quote
+
+
+@dataclass(frozen=True)
+class SealedKeyDelivery:
+    """One encrypted subscriber-key batch in transit."""
+
+    operator_public_key: bytes
+    ciphertext: bytes
+    tag: bytes
+
+
+def _channel_keys(shared_secret: bytes) -> "tuple[bytes, bytes, bytes]":
+    block = hashlib.sha256(b"paka-provisioning" + shared_secret).digest()
+    mac_key = hashlib.sha256(b"mac" + block).digest()
+    return block[:16], block[16:], mac_key
+
+
+def _serialize_keys(keys: Dict[str, bytes]) -> bytes:
+    import json
+
+    return json.dumps({supi: k.hex() for supi, k in sorted(keys.items())}).encode()
+
+
+def _deserialize_keys(raw: bytes) -> Dict[str, bytes]:
+    import json
+
+    return {supi: bytes.fromhex(k) for supi, k in json.loads(raw.decode()).items()}
+
+
+class ModuleProvisioningAgent:
+    """Runs inside the module (enclave side of the channel)."""
+
+    def __init__(
+        self,
+        runtime: GramineEnclaveRuntime,
+        quoting_enclave: QuotingEnclave,
+    ) -> None:
+        self.runtime = runtime
+        self.quoting_enclave = quoting_enclave
+
+    def make_offer(self) -> ProvisioningOffer:
+        """Generate the in-enclave keypair and the binding quote."""
+        private_key = self.runtime.host.rng.randbytes(
+            f"prov.{self.runtime.name}", 32
+        )
+        self.runtime.store_secret("prov:ecdh-private", private_key)
+        public_key = x25519_public_key(private_key)
+        quote = self.quoting_enclave.quote(
+            self.runtime.enclave,
+            report_data=hashlib.sha256(b"prov-pubkey" + public_key).digest(),
+        )
+        return ProvisioningOffer(module_public_key=public_key, quote=quote)
+
+    def accept_delivery(self, delivery: SealedKeyDelivery) -> int:
+        """Decrypt inside the enclave and install the subscriber keys."""
+        private_key = self.runtime.load_secret("prov:ecdh-private")
+        shared = x25519(private_key, delivery.operator_public_key)
+        key, icb, mac_key = _channel_keys(shared)
+        expected = hmac.new(mac_key, delivery.ciphertext, hashlib.sha256).digest()[:16]
+        if not hmac.compare_digest(expected, delivery.tag):
+            raise ProvisioningError("delivery authentication failed")
+        keys = _deserialize_keys(aes128_ctr(key, icb, delivery.ciphertext))
+        for supi, k in keys.items():
+            if len(k) != 16:
+                raise ProvisioningError(f"bad key length for {supi}")
+            self.runtime.store_secret(f"k:{supi}", k)
+        return len(keys)
+
+
+class OperatorProvisioner:
+    """The VNO side: verifies attestation, then ships the keys."""
+
+    def __init__(
+        self,
+        attestation_service: AttestationService,
+        expected_mrenclave: bytes,
+        expected_mrsigner: Optional[bytes] = None,
+        allow_debug: bool = False,
+    ) -> None:
+        self.attestation_service = attestation_service
+        self.expected_mrenclave = expected_mrenclave
+        self.expected_mrsigner = expected_mrsigner
+        self.allow_debug = allow_debug
+
+    def deliver_keys(
+        self,
+        offer: ProvisioningOffer,
+        subscriber_keys: Dict[str, bytes],
+        operator_private_key: bytes,
+    ) -> SealedKeyDelivery:
+        """Verify the offer's quote and encrypt the key batch for it."""
+        try:
+            verify_quote(
+                offer.quote,
+                self.attestation_service,
+                expected_mrenclave=self.expected_mrenclave,
+                expected_mrsigner=self.expected_mrsigner,
+                allow_debug=self.allow_debug,
+            )
+        except AttestationError as error:
+            raise ProvisioningError(f"module attestation failed: {error}")
+        binding = hashlib.sha256(b"prov-pubkey" + offer.module_public_key).digest()
+        if offer.quote.report_data != binding:
+            raise ProvisioningError(
+                "quote does not bind the offered public key (substitution?)"
+            )
+        shared = x25519(operator_private_key, offer.module_public_key)
+        key, icb, mac_key = _channel_keys(shared)
+        plaintext = _serialize_keys(subscriber_keys)
+        ciphertext = aes128_ctr(key, icb, plaintext)
+        tag = hmac.new(mac_key, ciphertext, hashlib.sha256).digest()[:16]
+        return SealedKeyDelivery(
+            operator_public_key=x25519_public_key(operator_private_key),
+            ciphertext=ciphertext,
+            tag=tag,
+        )

@@ -1,0 +1,103 @@
+"""USIM — the UE-side secure element.
+
+Holds the subscriber key K and operator constant OPc (the paper's
+OpenCells programmable SIM), runs MILENAGE to verify the network's AUTN
+challenge, enforces the SQN freshness window of TS 33.102 Annex C, and
+produces RES* plus the UE-side key hierarchy on success — byte-identical
+to what the home network derives, which is the whole point of AKA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.kdf import derive_kausf, derive_kseaf, derive_res_star
+from repro.crypto.milenage import Milenage
+from repro.crypto.suci import Supi
+
+
+class UsimError(Exception):
+    """Credential misuse (bad sizes, unprogrammed SIM)."""
+
+
+@dataclass
+class UsimAuthResult:
+    """Outcome of an AUTN verification attempt."""
+
+    success: bool
+    cause: Optional[str] = None  # "MAC_FAILURE" | "SYNCH_FAILURE"
+    res_star: Optional[bytes] = None
+    kausf: Optional[bytes] = None
+    kseaf: Optional[bytes] = None
+    auts: Optional[bytes] = None  # resync token on SYNCH_FAILURE
+
+
+class Usim:
+    """A programmed USIM."""
+
+    # TS 33.102 Annex C: accept SQNs at most this far ahead of SQN_MS.
+    SQN_DELTA = 1 << 28
+
+    def __init__(
+        self,
+        supi: Supi,
+        k: bytes,
+        opc: bytes,
+        amf_field: bytes = bytes.fromhex("8000"),
+        sqn_ms: int = 0,
+    ) -> None:
+        if len(k) != 16 or len(opc) != 16:
+            raise UsimError("K and OPc must be 16 bytes")
+        self.supi = supi
+        self._k = k
+        self._opc = opc
+        self.amf_field = amf_field
+        self.sqn_ms = sqn_ms  # highest SQN accepted so far
+        self._milenage = Milenage(k, opc)
+
+    # ------------------------------------------------------------ challenge
+
+    def authenticate(self, rand: bytes, autn: bytes, snn: bytes) -> UsimAuthResult:
+        """Verify the network challenge and derive the UE-side keys.
+
+        Follows TS 33.102 §6.3.3: recover SQN through AK, check MAC-A,
+        check SQN freshness; on a stale SQN produce the AUTS
+        resynchronisation token instead of failing hard.
+        """
+        if len(rand) != 16 or len(autn) != 16:
+            raise UsimError("RAND and AUTN must be 16 bytes")
+        sqn_xor_ak, amf_field, mac_a = autn[:6], autn[6:8], autn[8:]
+        vector = self._milenage.f2345(rand)
+        sqn = bytes(s ^ a for s, a in zip(sqn_xor_ak, vector.ak))
+        expected_mac, _ = self._milenage.f1(rand, sqn, amf_field)
+        if expected_mac != mac_a:
+            return UsimAuthResult(success=False, cause="MAC_FAILURE")
+
+        sqn_value = int.from_bytes(sqn, "big")
+        if not (self.sqn_ms < sqn_value <= self.sqn_ms + self.SQN_DELTA):
+            return UsimAuthResult(
+                success=False, cause="SYNCH_FAILURE", auts=self._build_auts(rand)
+            )
+        self.sqn_ms = sqn_value
+
+        res_star = derive_res_star(vector.ck, vector.ik, snn, rand, vector.res)
+        kausf = derive_kausf(vector.ck, vector.ik, snn, sqn_xor_ak)
+        kseaf = derive_kseaf(kausf, snn)
+        return UsimAuthResult(
+            success=True, res_star=res_star, kausf=kausf, kseaf=kseaf
+        )
+
+    def _build_auts(self, rand: bytes) -> bytes:
+        """AUTS = (SQN_MS ⊕ AK*) ‖ MAC-S (TS 33.102 §6.3.3)."""
+        vector = self._milenage.f2345(rand)
+        sqn_ms = self.sqn_ms.to_bytes(6, "big")
+        # MAC-S uses the resync AMF value 0x0000.
+        _, mac_s = self._milenage.f1(rand, sqn_ms, bytes(2))
+        concealed = bytes(s ^ a for s, a in zip(sqn_ms, vector.ak_star))
+        return concealed + mac_s
+
+
+# Home-network side of resynchronisation; canonical home in repro.aka,
+# re-exported here for callers thinking in UE/USIM terms.
+from repro.aka import verify_auts  # noqa: E402  (re-export)

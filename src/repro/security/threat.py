@@ -1,0 +1,130 @@
+"""The attacker of Fig 3.
+
+A malicious third-party application on the shared public-cloud
+infrastructure walks the paper's attack chain:
+
+1. **co-residency** — land on the same physical host as the VNO's 5G
+   core (prior work reports >90 % success),
+2. **escalation** — exploit a container-engine / hypervisor vulnerability
+   (the CVEs of §I) to gain host-root / engine privileges,
+3. **lateral movement** — with those privileges, inspect and manipulate
+   co-resident containers.
+
+Capabilities are explicit: an attack primitive checks that the attacker
+has earned the capability it needs, so tests can also assert that an
+*unescalated* attacker gets nowhere even against plain containers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Set
+
+from repro.container.engine import ContainerEngine
+from repro.hw.host import PhysicalHost
+
+
+class CoResidencyError(Exception):
+    """The attacker never landed on the target host."""
+
+
+class CapabilityError(Exception):
+    """An attack primitive was used without the required capability."""
+
+
+class AttackerCapability(Enum):
+    CO_RESIDENT = "co-resident"
+    ENGINE_PRIVILEGES = "engine-privileges"  # compromised container engine
+    HOST_ROOT = "host-root"  # VM escape / kernel exploit
+    NETWORK_TAP = "network-tap"  # on-path on the host bridge
+
+
+# Vulnerability classes the paper cites (illustrative, not CVE-accurate
+# exploit logic — the *effect* is privilege escalation).
+ESCALATION_VULNS = {
+    "CVE-2022-31705": AttackerCapability.HOST_ROOT,  # VM escape
+    "CVE-2022-31696": AttackerCapability.HOST_ROOT,  # memory corruption
+    "CVE-2021-31440": AttackerCapability.HOST_ROOT,  # kernel eBPF LPE
+    "CVE-2020-14386": AttackerCapability.HOST_ROOT,  # af_packet LPE
+    "engine-api-misconfig": AttackerCapability.ENGINE_PRIVILEGES,
+}
+
+
+@dataclass
+class Attacker:
+    """A third-party application turned adversary."""
+
+    name: str
+    host: PhysicalHost
+    engine: ContainerEngine
+    capabilities: Set[AttackerCapability] = field(default_factory=set)
+    log: List[str] = field(default_factory=list)
+
+    # ---------------------------------------------------------- chain steps
+
+    def achieve_coresidency(self, attempts: int = 3) -> bool:
+        """Land on the target host (≈90 % per attempt, per [35])."""
+        stream = self.host.rng.stream(f"attacker.{self.name}.coresidency")
+        for attempt in range(attempts):
+            if stream.random() < 0.90:
+                self.capabilities.add(AttackerCapability.CO_RESIDENT)
+                self.log.append(f"co-residency achieved on attempt {attempt + 1}")
+                return True
+        self.log.append(f"co-residency failed after {attempts} attempts")
+        return False
+
+    def escalate(self, vulnerability: str) -> AttackerCapability:
+        """Exploit ``vulnerability`` to cross the virtualization boundary."""
+        if AttackerCapability.CO_RESIDENT not in self.capabilities:
+            raise CoResidencyError(
+                f"{self.name}: cannot exploit host software without co-residency"
+            )
+        gained = ESCALATION_VULNS.get(vulnerability)
+        if gained is None:
+            self.log.append(f"exploit {vulnerability!r} failed: not applicable")
+            raise CapabilityError(f"unknown/patched vulnerability {vulnerability!r}")
+        self.capabilities.add(gained)
+        # Host root implies control of everything below it.
+        if gained is AttackerCapability.HOST_ROOT:
+            self.capabilities.add(AttackerCapability.ENGINE_PRIVILEGES)
+            self.capabilities.add(AttackerCapability.NETWORK_TAP)
+        self.log.append(f"escalated via {vulnerability}: gained {gained.value}")
+        return gained
+
+    def full_chain(self) -> bool:
+        """Run the complete Fig 3 chain; returns True when root is held."""
+        if not self.achieve_coresidency():
+            return False
+        self.escalate("CVE-2022-31705")
+        return AttackerCapability.HOST_ROOT in self.capabilities
+
+    # ---------------------------------------------------------- primitives
+
+    def require(self, capability: AttackerCapability) -> None:
+        if capability not in self.capabilities:
+            raise CapabilityError(
+                f"{self.name}: attack needs {capability.value!r}; "
+                f"has {sorted(c.value for c in self.capabilities)}"
+            )
+
+    def introspect_container(self, container_name: str) -> bytes:
+        """Read a co-resident container's memory (KI 7's primitive)."""
+        self.require(AttackerCapability.ENGINE_PRIVILEGES)
+        actor = (
+            "host-root"
+            if AttackerCapability.HOST_ROOT in self.capabilities
+            else "container-engine"
+        )
+        self.log.append(f"memory introspection of {container_name!r} as {actor}")
+        return self.engine.introspect_memory(container_name, actor=actor)
+
+    def tap_bridge(self, network_name: str) -> None:
+        """Start capturing frames on the host bridge."""
+        self.require(AttackerCapability.NETWORK_TAP)
+        self.engine.network(network_name).start_capture()
+        self.log.append(f"tapping bridge {network_name!r}")
+
+    def collect_tap(self, network_name: str):
+        self.require(AttackerCapability.NETWORK_TAP)
+        return self.engine.network(network_name).stop_capture()

@@ -1,0 +1,62 @@
+"""SGX / HMEE simulator.
+
+Models Intel SGX at the abstraction level the paper measures:
+
+* **enclave lifecycle** — ECREATE, EADD/EEXTEND page measurement, EINIT,
+  optional heap pre-faulting ("preheat"),
+* **transitions** — EENTER/EEXIT for ECALL/OCALL, AEX + ERESUME for
+  asynchronous exits, with cycle costs in the 10k–18k band the paper
+  cites for a transition pair,
+* **EPC** — a page cache carved from the host PRM, with paging costs when
+  the working set exceeds the configured enclave size,
+* **confidentiality semantics** — enclave memory read from outside the
+  CPU package yields ciphertext; only ECALL-entered code sees plaintext.
+  This is what the security evaluation (Table V) exercises,
+* **attestation & sealing** — MRENCLAVE measurement, signed quotes,
+  measurement-bound sealed blobs,
+* **aesmd** — the Architectural Enclave Service Manager that provisions
+  launch tokens (a *trusted* entity in the paper's threat model).
+"""
+
+from repro.sgx.errors import (
+    AttestationError,
+    EnclaveLostError,
+    EnclaveNotInitializedError,
+    SgxError,
+    SgxUnsupportedError,
+    SealingError,
+)
+from repro.sgx.costmodel import SgxCostModel
+from repro.sgx.stats import SgxStats
+from repro.sgx.measurement import EnclaveMeasurement, SigStruct, sign_enclave
+from repro.sgx.epc import EpcManager, EpcRegion
+from repro.sgx.enclave import Enclave, EnclaveBuildInfo, EcallContext
+from repro.sgx.attestation import Quote, QuotingEnclave, verify_quote
+from repro.sgx.sealing import seal, unseal
+from repro.sgx.aesm import AesmDaemon, LaunchToken
+
+__all__ = [
+    "SgxError",
+    "SgxUnsupportedError",
+    "EnclaveNotInitializedError",
+    "EnclaveLostError",
+    "AttestationError",
+    "SealingError",
+    "SgxCostModel",
+    "SgxStats",
+    "EnclaveMeasurement",
+    "SigStruct",
+    "sign_enclave",
+    "EpcManager",
+    "EpcRegion",
+    "Enclave",
+    "EnclaveBuildInfo",
+    "EcallContext",
+    "Quote",
+    "QuotingEnclave",
+    "verify_quote",
+    "seal",
+    "unseal",
+    "AesmDaemon",
+    "LaunchToken",
+]

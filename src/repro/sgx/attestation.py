@@ -1,0 +1,128 @@
+"""Remote attestation.
+
+A relying party (e.g. a VNO deploying P-AKA modules on third-party
+infrastructure, KI 13/20 of Table V) asks the Quoting Enclave for a quote
+over the target enclave's measurement plus caller-supplied report data
+(typically a key-exchange public key).  The quote is signed under the
+platform attestation key, whose public half Intel's attestation service
+vouches for — modelled here as a registry of genuine platform keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.sgx.enclave import Enclave
+from repro.sgx.errors import AttestationError
+
+
+@dataclass(frozen=True)
+class Quote:
+    """An attestation quote: enclave identity + report data, signed."""
+
+    mrenclave: bytes
+    mrsigner: bytes
+    isv_prod_id: int
+    isv_svn: int
+    report_data: bytes
+    platform_id: str
+    debug: bool
+    signature: bytes
+
+    def body(self) -> bytes:
+        return (
+            self.mrenclave
+            + self.mrsigner
+            + self.isv_prod_id.to_bytes(2, "big")
+            + self.isv_svn.to_bytes(2, "big")
+            + hashlib.sha256(self.report_data).digest()
+            + self.platform_id.encode()
+            + (b"\x01" if self.debug else b"\x00")
+        )
+
+
+class AttestationService:
+    """Registry of genuine platform attestation keys (Intel IAS/DCAP stand-in)."""
+
+    def __init__(self) -> None:
+        self._platform_keys: Dict[str, bytes] = {}
+
+    def provision_platform(self, platform_id: str, key: bytes) -> None:
+        self._platform_keys[platform_id] = key
+
+    def platform_key(self, platform_id: str) -> Optional[bytes]:
+        return self._platform_keys.get(platform_id)
+
+
+class QuotingEnclave:
+    """The platform's Quoting Enclave: turns local reports into quotes."""
+
+    def __init__(self, platform_id: str, service: AttestationService) -> None:
+        self.platform_id = platform_id
+        self._attestation_key = hashlib.sha256(
+            b"platform-attestation-key" + platform_id.encode()
+        ).digest()
+        service.provision_platform(platform_id, self._attestation_key)
+
+    def quote(self, enclave: Enclave, report_data: bytes = b"") -> Quote:
+        if not enclave.initialized or enclave.measurement is None:
+            raise AttestationError(
+                f"enclave {enclave.build.name!r} not initialized; cannot quote"
+            )
+        sig_info = enclave.build.sigstruct
+        mrsigner = sig_info.mrsigner if sig_info else bytes(32)
+        prod_id = sig_info.isv_prod_id if sig_info else 0
+        svn = sig_info.isv_svn if sig_info else 0
+        quote = Quote(
+            mrenclave=enclave.measurement.mrenclave,
+            mrsigner=mrsigner,
+            isv_prod_id=prod_id,
+            isv_svn=svn,
+            report_data=report_data,
+            platform_id=self.platform_id,
+            debug=enclave.build.debug,
+            signature=b"",
+        )
+        signature = hmac.new(self._attestation_key, quote.body(), hashlib.sha256).digest()
+        return Quote(
+            mrenclave=quote.mrenclave,
+            mrsigner=quote.mrsigner,
+            isv_prod_id=quote.isv_prod_id,
+            isv_svn=quote.isv_svn,
+            report_data=quote.report_data,
+            platform_id=quote.platform_id,
+            debug=quote.debug,
+            signature=signature,
+        )
+
+
+def verify_quote(
+    quote: Quote,
+    service: AttestationService,
+    expected_mrenclave: Optional[bytes] = None,
+    expected_mrsigner: Optional[bytes] = None,
+    allow_debug: bool = False,
+) -> bool:
+    """Verify a quote against the attestation service and expected identity.
+
+    Raises :class:`AttestationError` with a reason on failure; returns
+    ``True`` on success so callers can assert directly.
+    """
+    key = service.platform_key(quote.platform_id)
+    if key is None:
+        raise AttestationError(f"unknown platform {quote.platform_id!r}")
+    expected_sig = hmac.new(key, quote.body(), hashlib.sha256).digest()
+    if not hmac.compare_digest(expected_sig, quote.signature):
+        raise AttestationError("quote signature invalid")
+    if quote.debug and not allow_debug:
+        raise AttestationError("enclave is in debug mode; refusing for production")
+    if expected_mrenclave is not None and quote.mrenclave != expected_mrenclave:
+        raise AttestationError(
+            "MRENCLAVE mismatch: enclave contents differ from the expected build"
+        )
+    if expected_mrsigner is not None and quote.mrsigner != expected_mrsigner:
+        raise AttestationError("MRSIGNER mismatch: unexpected signing authority")
+    return True

@@ -1,0 +1,29 @@
+"""SGX error hierarchy."""
+
+
+class SgxError(Exception):
+    """Base class for all SGX simulator errors."""
+
+
+class SgxUnsupportedError(SgxError):
+    """The host CPU does not support the requested SGX feature."""
+
+
+class EnclaveNotInitializedError(SgxError):
+    """ECALL attempted before EINIT completed."""
+
+
+class EnclaveLostError(SgxError):
+    """The enclave was destroyed (e.g. power event / teardown) mid-use."""
+
+
+class AttestationError(SgxError):
+    """Quote generation or verification failed."""
+
+
+class SealingError(SgxError):
+    """Sealed blob could not be unsealed (wrong enclave identity or tamper)."""
+
+
+class EpcExhaustedError(SgxError):
+    """No EPC pages available and eviction is disabled."""

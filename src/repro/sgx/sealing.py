@@ -1,0 +1,99 @@
+"""Secret sealing.
+
+Sealing encrypts data under a key derived from the CPU's fused secret and
+the enclave's identity, so a sealed blob written to untrusted storage (or
+baked into a container image — KI 27) can only be opened by the same
+enclave identity on the same platform.  Two policies exist, as on real
+SGX:
+
+* ``MRENCLAVE`` policy — only the *exact same* enclave build can unseal,
+* ``MRSIGNER`` policy — any enclave signed by the same vendor can unseal
+  (survives enclave upgrades).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.sgx.enclave import Enclave
+from repro.sgx.errors import SealingError
+
+
+class SealPolicy(Enum):
+    MRENCLAVE = "mrenclave"
+    MRSIGNER = "mrsigner"
+
+
+@dataclass(frozen=True)
+class SealedBlob:
+    """An opaque sealed secret; safe to store anywhere untrusted."""
+
+    policy: SealPolicy
+    ciphertext: bytes
+    tag: bytes
+
+
+# Per-platform fused sealing root; the attack model cannot read it because
+# it never leaves this module except through key derivation.
+def _platform_root(platform_id: str) -> bytes:
+    return hashlib.sha256(b"fuse-sealing-root" + platform_id.encode()).digest()
+
+
+def _seal_key(enclave: Enclave, policy: SealPolicy, platform_id: str) -> bytes:
+    if not enclave.initialized or enclave.measurement is None:
+        raise SealingError("enclave must be initialized to derive sealing keys")
+    if policy is SealPolicy.MRENCLAVE:
+        identity = enclave.measurement.mrenclave
+    else:
+        sig = enclave.build.sigstruct
+        if sig is None:
+            raise SealingError("MRSIGNER policy requires a signed enclave")
+        identity = sig.mrsigner
+    return hashlib.sha256(
+        _platform_root(platform_id) + policy.value.encode() + identity
+    ).digest()
+
+
+def _keystream(key: bytes, length: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out.extend(hashlib.sha256(key + counter.to_bytes(8, "big")).digest())
+        counter += 1
+    return bytes(out[:length])
+
+
+def seal(
+    enclave: Enclave,
+    plaintext: bytes,
+    policy: SealPolicy = SealPolicy.MRENCLAVE,
+    platform_id: str = "platform-0",
+) -> SealedBlob:
+    """Seal ``plaintext`` to the enclave's identity on this platform."""
+    key = _seal_key(enclave, policy, platform_id)
+    ciphertext = bytes(
+        p ^ k for p, k in zip(plaintext, _keystream(key, len(plaintext)))
+    )
+    tag = hmac.new(key, ciphertext, hashlib.sha256).digest()[:16]
+    return SealedBlob(policy=policy, ciphertext=ciphertext, tag=tag)
+
+
+def unseal(
+    enclave: Enclave,
+    blob: SealedBlob,
+    platform_id: str = "platform-0",
+) -> bytes:
+    """Unseal a blob; fails unless identity and platform match the sealer."""
+    key = _seal_key(enclave, blob.policy, platform_id)
+    expected = hmac.new(key, blob.ciphertext, hashlib.sha256).digest()[:16]
+    if not hmac.compare_digest(expected, blob.tag):
+        raise SealingError(
+            "unseal failed: enclave identity or platform does not match "
+            "(or the blob was tampered with)"
+        )
+    return bytes(
+        c ^ k for c, k in zip(blob.ciphertext, _keystream(key, len(blob.ciphertext)))
+    )

@@ -1,0 +1,100 @@
+"""Simulated clock.
+
+The clock is a plain nanosecond counter.  Components *advance* it by the
+cost of the operations they model; measurement code *reads* it around an
+operation to obtain the operation's simulated latency.  Because nothing
+ever reads the host's wall clock, a run is exactly reproducible given the
+same RNG seed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+
+@dataclass
+class TimeSpan:
+    """A measured interval of simulated time, in nanoseconds."""
+
+    start_ns: int
+    end_ns: int
+
+    @property
+    def ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def us(self) -> float:
+        return self.ns / NS_PER_US
+
+    @property
+    def ms(self) -> float:
+        return self.ns / NS_PER_MS
+
+    @property
+    def seconds(self) -> float:
+        return self.ns / NS_PER_S
+
+    @property
+    def minutes(self) -> float:
+        return self.seconds / 60.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TimeSpan({self.ns} ns = {self.us:.2f} us)"
+
+
+@dataclass
+class SimClock:
+    """Monotonic simulated nanosecond clock.
+
+    >>> clock = SimClock()
+    >>> with clock.measure() as span:
+    ...     clock.advance_us(5)
+    >>> span.us
+    5.0
+    """
+
+    now_ns: int = 0
+    _open_measurements: List[TimeSpan] = field(default_factory=list, repr=False)
+
+    def advance(self, ns: int) -> None:
+        """Advance the clock by ``ns`` nanoseconds (must be non-negative)."""
+        if ns < 0:
+            raise ValueError(f"cannot advance clock by negative time: {ns}")
+        self.now_ns += int(ns)
+
+    def advance_cycles(self, cycles: float, hz: float) -> None:
+        """Advance by the wall time of ``cycles`` CPU cycles at ``hz``."""
+        if hz <= 0:
+            raise ValueError(f"clock frequency must be positive: {hz}")
+        self.advance(int(round(cycles * NS_PER_S / hz)))
+
+    def advance_us(self, us: float) -> None:
+        self.advance(int(round(us * NS_PER_US)))
+
+    def advance_ms(self, ms: float) -> None:
+        self.advance(int(round(ms * NS_PER_MS)))
+
+    def advance_s(self, seconds: float) -> None:
+        self.advance(int(round(seconds * NS_PER_S)))
+
+    @contextmanager
+    def measure(self) -> Iterator[TimeSpan]:
+        """Measure the simulated time spent inside the ``with`` block."""
+        span = TimeSpan(start_ns=self.now_ns, end_ns=self.now_ns)
+        self._open_measurements.append(span)
+        try:
+            yield span
+        finally:
+            span.end_ns = self.now_ns
+            self._open_measurements.remove(span)
+
+    def timestamp(self) -> int:
+        """Current simulated time in nanoseconds since simulation start."""
+        return self.now_ns

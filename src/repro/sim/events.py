@@ -1,0 +1,60 @@
+"""Structured simulation event log.
+
+The experiment harness and the security evaluator both need to observe what
+happened inside a run: enclave transitions, page faults, attack steps,
+protocol messages.  Components append :class:`Event` records; consumers
+filter by category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """One simulation event.
+
+    ``category`` is a dotted namespace (``sgx.eenter``, ``attack.escape``,
+    ``net.http.request`` …); ``detail`` carries event-specific fields.
+    """
+
+    timestamp_ns: int
+    category: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only event trace with category filtering."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._events: List[Event] = []
+        self._capacity = capacity
+
+    def emit(self, timestamp_ns: int, category: str, **detail: Any) -> Event:
+        event = Event(timestamp_ns=timestamp_ns, category=category, detail=detail)
+        self._events.append(event)
+        if self._capacity is not None and len(self._events) > self._capacity:
+            # Drop the oldest half; the log is diagnostics, not ground truth.
+            self._events = self._events[len(self._events) // 2 :]
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def select(self, prefix: str) -> List[Event]:
+        """All events whose category equals or starts with ``prefix.``."""
+        dotted = prefix + "."
+        return [
+            e for e in self._events if e.category == prefix or e.category.startswith(dotted)
+        ]
+
+    def count(self, prefix: str) -> int:
+        return len(self.select(prefix))
+
+    def clear(self) -> None:
+        self._events.clear()

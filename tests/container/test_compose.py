@@ -1,0 +1,78 @@
+"""Compose orchestration: ordering, cycles, teardown."""
+
+import pytest
+
+from repro.container.compose import ComposeError, ComposeProject, ServiceSpec
+from repro.container.engine import ContainerEngine
+from repro.container.image import oai_base_image
+
+
+@pytest.fixture
+def engine(host):
+    engine = ContainerEngine(host)
+    engine.create_network("oai-bridge")
+    return engine
+
+
+def make_spec(name, depends_on=(), network=None):
+    image, _ = oai_base_image(name, bulk_mb=5)
+    return ServiceSpec(name=name, image=image, network=network, depends_on=list(depends_on))
+
+
+def test_up_starts_in_dependency_order(engine, host):
+    project = ComposeProject("slice", engine)
+    project.add_service(make_spec("amf", depends_on=["ausf"]))
+    project.add_service(make_spec("ausf", depends_on=["udm"]))
+    project.add_service(make_spec("udm"))
+    containers = project.up()
+    assert set(containers) == {"udm", "ausf", "amf"}
+    start_order = sorted(containers.values(), key=lambda c: c.start_timestamp_ns)
+    assert [c.name for c in start_order] == ["slice_udm", "slice_ausf", "slice_amf"]
+
+
+def test_cycle_detected(engine):
+    project = ComposeProject("slice", engine)
+    project.add_service(make_spec("a", depends_on=["b"]))
+    project.add_service(make_spec("b", depends_on=["a"]))
+    with pytest.raises(ComposeError, match="cycle"):
+        project.up()
+
+
+def test_unknown_dependency_rejected(engine):
+    project = ComposeProject("slice", engine)
+    project.add_service(make_spec("a", depends_on=["ghost"]))
+    with pytest.raises(ComposeError, match="unknown"):
+        project.up()
+
+
+def test_duplicate_service_rejected(engine):
+    project = ComposeProject("slice", engine)
+    project.add_service(make_spec("a"))
+    with pytest.raises(ComposeError):
+        project.add_service(make_spec("a"))
+
+
+def test_up_is_idempotent(engine):
+    project = ComposeProject("slice", engine)
+    project.add_service(make_spec("a"))
+    first = project.up()["a"]
+    second = project.up()["a"]
+    assert first is second
+
+
+def test_down_removes_containers(engine):
+    project = ComposeProject("slice", engine)
+    project.add_service(make_spec("a"))
+    project.up()
+    project.down()
+    with pytest.raises(ComposeError):
+        project.container("a")
+    assert engine.ps() == []
+
+
+def test_services_attach_to_network(engine):
+    project = ComposeProject("slice", engine)
+    project.add_service(make_spec("a", network="oai-bridge"))
+    container = project.up()["a"]
+    assert container.endpoint is not None
+    assert container.endpoint.network.name == "oai-bridge"

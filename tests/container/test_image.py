@@ -1,0 +1,68 @@
+"""Container image model: layers, rootfs, KI 27 read primitive."""
+
+import pytest
+
+from repro.container.image import ContainerImage, FileEntry, ImageLayer, oai_base_image
+
+
+def test_file_entry_validation():
+    with pytest.raises(ValueError):
+        FileEntry("relative/path", 10)
+    with pytest.raises(ValueError):
+        FileEntry("/x", 10, content=b"mismatched-length")
+
+
+def test_layer_size_sums_files_and_bulk():
+    layer = ImageLayer("l", files=[FileEntry("/a", 100), FileEntry("/b", 50)], opaque_bytes=1000)
+    assert layer.size_bytes == 1150
+
+
+def test_image_size_sums_layers():
+    image = ContainerImage(
+        "repo", "v1",
+        layers=[ImageLayer("a", opaque_bytes=10), ImageLayer("b", opaque_bytes=20)],
+    )
+    assert image.size_bytes == 30
+    assert image.reference == "repo:v1"
+
+
+def test_rootfs_merge_later_layers_shadow():
+    image = ContainerImage(
+        "repo", "v1",
+        layers=[
+            ImageLayer("base", files=[FileEntry("/etc/conf", 3, b"old")]),
+            ImageLayer("patch", files=[FileEntry("/etc/conf", 3, b"new")]),
+        ],
+    )
+    assert image.read_file("/etc/conf") == b"new"
+
+
+def test_read_file_missing_raises():
+    image = ContainerImage("repo", "v1")
+    with pytest.raises(FileNotFoundError):
+        image.read_file("/nope")
+
+
+def test_read_file_without_content_raises():
+    image = ContainerImage(
+        "repo", "v1", layers=[ImageLayer("l", files=[FileEntry("/big", 10_000)])]
+    )
+    with pytest.raises(ValueError):
+        image.read_file("/big")
+
+
+def test_with_layer_is_non_destructive():
+    base = ContainerImage("repo", "v1", layers=[ImageLayer("a", opaque_bytes=10)])
+    extended = base.with_layer(ImageLayer("b", opaque_bytes=5))
+    assert len(base.layers) == 1
+    assert len(extended.layers) == 2
+    assert extended.size_bytes == 15
+    assert extended.tag != base.tag
+
+
+def test_oai_base_image_shape():
+    image, app_layer = oai_base_image("eudm-aka", bulk_mb=100)
+    assert image.repository == "oai/eudm-aka"
+    assert image.entrypoint == "/opt/oai/eudm-aka"
+    assert image.size_bytes > 100 * 1024**2
+    assert any(f.path == "/opt/oai/eudm-aka" for f in app_layer.files)

@@ -1,0 +1,150 @@
+"""X25519 (RFC 7748 vectors), ECIES Profile A and SUCI concealment."""
+
+import pytest
+
+from repro.crypto.suci import (
+    EciesProfileA,
+    Suci,
+    Supi,
+    conceal_supi,
+    deconceal_suci,
+    x25519,
+    x25519_public_key,
+)
+
+RFC7748_VECTOR_1 = (
+    "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4",
+    "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c",
+    "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552",
+)
+RFC7748_VECTOR_2 = (
+    "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d",
+    "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493",
+    "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957",
+)
+
+
+@pytest.mark.parametrize("scalar,u,expected", [RFC7748_VECTOR_1, RFC7748_VECTOR_2])
+def test_rfc7748_vectors(scalar, u, expected):
+    out = x25519(bytes.fromhex(scalar), bytes.fromhex(u))
+    assert out.hex() == expected
+
+
+def test_diffie_hellman_agreement():
+    alice = bytes(range(32))
+    bob = bytes(range(32, 64))
+    shared_a = x25519(alice, x25519_public_key(bob))
+    shared_b = x25519(bob, x25519_public_key(alice))
+    assert shared_a == shared_b
+
+
+def test_x25519_rejects_bad_lengths():
+    with pytest.raises(ValueError):
+        x25519(b"short", bytes(32))
+    with pytest.raises(ValueError):
+        x25519(bytes(32), b"short")
+
+
+class TestSupi:
+    def test_string_form(self):
+        supi = Supi(mcc="001", mnc="01", msin="0000000001")
+        assert str(supi) == "imsi-001010000000001"
+
+    def test_parse_roundtrip(self):
+        supi = Supi(mcc="001", mnc="01", msin="0000000001")
+        assert Supi.parse(str(supi)) == supi
+
+    def test_parse_rejects_non_imsi(self):
+        with pytest.raises(ValueError):
+            Supi.parse("nai-user@example.org")
+
+    @pytest.mark.parametrize(
+        "mcc,mnc,msin",
+        [("1", "01", "0000000001"), ("001", "1", "0000000001"), ("001", "01", "123")],
+    )
+    def test_field_validation(self, mcc, mnc, msin):
+        with pytest.raises(ValueError):
+            Supi(mcc=mcc, mnc=mnc, msin=msin)
+
+
+class TestEciesProfileA:
+    HN_PRIV = bytes(range(1, 33))
+
+    @property
+    def hn_pub(self):
+        return x25519_public_key(self.HN_PRIV)
+
+    def test_encrypt_decrypt_roundtrip(self):
+        plaintext = b"0000000001"
+        blob = EciesProfileA.encrypt(plaintext, self.hn_pub, bytes(range(64, 96)))
+        assert EciesProfileA.decrypt(blob, self.HN_PRIV) == plaintext
+
+    def test_ciphertext_hides_plaintext(self):
+        plaintext = b"0000000001"
+        blob = EciesProfileA.encrypt(plaintext, self.hn_pub, bytes(range(64, 96)))
+        assert plaintext not in blob
+
+    def test_fresh_ephemeral_keys_randomize_output(self):
+        plaintext = b"0000000001"
+        one = EciesProfileA.encrypt(plaintext, self.hn_pub, bytes(range(32)))
+        two = EciesProfileA.encrypt(plaintext, self.hn_pub, bytes(range(32, 64)))
+        assert one != two
+
+    def test_tampered_ciphertext_rejected(self):
+        blob = bytearray(
+            EciesProfileA.encrypt(b"0000000001", self.hn_pub, bytes(range(32)))
+        )
+        blob[40] ^= 0x01  # flip one ciphertext bit
+        with pytest.raises(ValueError):
+            EciesProfileA.decrypt(bytes(blob), self.HN_PRIV)
+
+    def test_tampered_tag_rejected(self):
+        blob = bytearray(
+            EciesProfileA.encrypt(b"0000000001", self.hn_pub, bytes(range(32)))
+        )
+        blob[-1] ^= 0x01
+        with pytest.raises(ValueError):
+            EciesProfileA.decrypt(bytes(blob), self.HN_PRIV)
+
+    def test_wrong_private_key_rejected(self):
+        blob = EciesProfileA.encrypt(b"0000000001", self.hn_pub, bytes(range(32)))
+        with pytest.raises(ValueError):
+            EciesProfileA.decrypt(blob, bytes(range(2, 34)))
+
+    def test_short_blob_rejected(self):
+        with pytest.raises(ValueError):
+            EciesProfileA.decrypt(b"too-short", self.HN_PRIV)
+
+
+class TestSuciConcealment:
+    HN_PRIV = bytes(range(7, 39))
+    SUPI = Supi(mcc="001", mnc="01", msin="0000000001")
+
+    def test_roundtrip(self):
+        suci = conceal_supi(self.SUPI, x25519_public_key(self.HN_PRIV), bytes(range(32)))
+        assert deconceal_suci(suci, self.HN_PRIV) == self.SUPI
+
+    def test_routing_info_in_clear_but_msin_hidden(self):
+        suci = conceal_supi(self.SUPI, x25519_public_key(self.HN_PRIV), bytes(range(32)))
+        assert suci.mcc == "001" and suci.mnc == "01"
+        assert self.SUPI.msin.encode() not in suci.scheme_output
+
+    def test_null_scheme_deconcealment(self):
+        suci = Suci(
+            mcc="001", mnc="01", protection_scheme=Suci.SCHEME_NULL,
+            home_network_key_id=0, scheme_output=b"0000000001",
+        )
+        assert deconceal_suci(suci, self.HN_PRIV) == self.SUPI
+
+    def test_unknown_scheme_rejected(self):
+        suci = Suci(
+            mcc="001", mnc="01", protection_scheme=9,
+            home_network_key_id=0, scheme_output=b"x",
+        )
+        with pytest.raises(ValueError):
+            deconceal_suci(suci, self.HN_PRIV)
+
+    def test_string_form(self):
+        suci = conceal_supi(self.SUPI, x25519_public_key(self.HN_PRIV), bytes(range(32)))
+        text = str(suci)
+        assert text.startswith("suci-0-001-01-0-1-")

@@ -1,0 +1,72 @@
+"""TLS session model: record protection, sequencing, cost model."""
+
+import pytest
+
+from repro.crypto.tls import TlsCostModel, TlsError, establish_session
+
+
+@pytest.fixture
+def sessions():
+    return establish_session("udm-client", "eudm-server", b"handshake-secret")
+
+
+def test_protect_unprotect_roundtrip(sessions):
+    client, server = sessions
+    record = client.protect(b'{"rand": "00"}')
+    assert server.unprotect(record) == b'{"rand": "00"}'
+
+
+def test_ciphertext_hides_plaintext(sessions):
+    client, _ = sessions
+    payload = b"kausf=deadbeef" * 4
+    assert payload not in client.protect(payload)
+
+
+def test_bidirectional_streams_are_independent(sessions):
+    client, server = sessions
+    up = client.protect(b"request")
+    assert server.unprotect(up) == b"request"
+    down = server.protect(b"response")
+    assert client.unprotect(down) == b"response"
+
+
+def test_sequence_numbers_rotate_keys(sessions):
+    client, _ = sessions
+    first = client.protect(b"same payload")
+    second = client.protect(b"same payload")
+    assert first != second
+
+
+def test_out_of_order_record_rejected(sessions):
+    client, server = sessions
+    client.protect(b"first")  # consumed sequence 0, never delivered
+    second = client.protect(b"second")
+    with pytest.raises(TlsError):
+        server.unprotect(second)  # server still expects sequence 0
+
+
+def test_tampered_record_rejected(sessions):
+    client, server = sessions
+    record = bytearray(client.protect(b"payload"))
+    record[0] ^= 0xFF
+    with pytest.raises(TlsError):
+        server.unprotect(bytes(record))
+
+
+def test_truncated_record_rejected(sessions):
+    _, server = sessions
+    with pytest.raises(TlsError):
+        server.unprotect(b"short")
+
+
+def test_cross_session_records_rejected():
+    client_a, _ = establish_session("a", "s", b"secret-one")
+    _, server_b = establish_session("a", "s", b"secret-two")
+    with pytest.raises(TlsError):
+        server_b.unprotect(client_a.protect(b"hello"))
+
+
+def test_cost_model_scales_with_bytes():
+    model = TlsCostModel()
+    assert model.record_cycles(2048) > model.record_cycles(64)
+    assert model.record_cycles(0) == model.record_fixed_cycles

@@ -1,0 +1,48 @@
+"""Small-scale ablation runs (full checks at reduced iteration counts)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    exitless_ablation,
+    hmee_backend_comparison,
+    preheat_ablation,
+    userlevel_tcp_ablation,
+)
+
+
+def assert_ok(report):
+    failed = report.failed_checks()
+    assert not failed, "\n".join(c.format() for c in failed)
+
+
+@pytest.mark.slow
+def test_preheat_ablation():
+    report = preheat_ablation(registrations=12)
+    assert_ok(report)
+    # Both sides of the tradeoff are visible.
+    assert report.derived["no-preheat_load_s"] < report.derived["preheat_load_s"]
+    assert (
+        report.derived["no-preheat_r_initial_ms"]
+        > report.derived["preheat_r_initial_ms"]
+    )
+
+
+@pytest.mark.slow
+def test_exitless_ablation():
+    report = exitless_ablation(registrations=20)
+    assert_ok(report)
+    assert report.derived["exitless_eenters"] == 0
+
+
+@pytest.mark.slow
+def test_hmee_backend_comparison():
+    report = hmee_backend_comparison(registrations=20)
+    assert_ok(report)
+    assert len(report.rows) == 3
+
+
+@pytest.mark.slow
+def test_userlevel_tcp_ablation():
+    report = userlevel_tcp_ablation(requests=40)
+    assert_ok(report)
+    assert report.derived["userlevel-tcp_ocalls_per_request"] < 10

@@ -1,0 +1,86 @@
+"""Small-scale runs of every experiment: all paper-shape checks must hold.
+
+The benchmarks run these at paper scale; here they run at reduced
+iteration counts so the whole suite stays fast while still asserting
+every band.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure7_enclave_load_time,
+    figure9_functional_total_latency,
+    figure10_response_time,
+    figure11_ota_feasibility,
+)
+from repro.experiments.session_setup import session_setup_experiment
+from repro.experiments.sweeps import figure8_threads_epc_sweep, undersized_epc_experiment
+from repro.experiments.tables import (
+    table1_enclave_io,
+    table3_sgx_stats,
+    table5_key_issues,
+)
+
+
+def assert_report_ok(report):
+    failed = report.failed_checks()
+    assert not failed, "failed checks:\n" + "\n".join(c.format() for c in failed)
+
+
+@pytest.mark.slow
+def test_figure7_small():
+    assert_report_ok(figure7_enclave_load_time(iterations=6))
+
+
+@pytest.mark.slow
+def test_figure8_small():
+    assert_report_ok(figure8_threads_epc_sweep(registrations=60))
+
+
+@pytest.mark.slow
+def test_figure9_small():
+    report = figure9_functional_total_latency(registrations=40)
+    assert_report_ok(report)
+    # Outlier fraction below the paper's observed 5 %.
+    for name in ("eudm", "eausf", "eamf"):
+        assert report.derived[f"{name}_outlier_fraction"] < 0.05
+
+
+@pytest.mark.slow
+def test_figure10_small():
+    assert_report_ok(figure10_response_time(registrations=40))
+
+
+def test_figure11_ota():
+    assert_report_ok(figure11_ota_feasibility())
+
+
+@pytest.mark.slow
+def test_session_setup_small():
+    report = session_setup_experiment(registrations=12)
+    assert_report_ok(report)
+    assert 52 < report.derived["sgx_setup_ms"] < 72
+
+
+def test_table1():
+    assert_report_ok(table1_enclave_io())
+
+
+@pytest.mark.slow
+def test_table3_small():
+    report = table3_sgx_stats(max_ues=2, iterations=2)
+    assert_report_ok(report)
+    # Rows cover every module at every UE count plus the empty workload.
+    assert len(report.rows) == 3 * 2 + 1
+
+
+@pytest.mark.slow
+def test_table5():
+    report = table5_key_issues()
+    assert_report_ok(report)
+    assert len(report.rows) == 13
+
+
+@pytest.mark.slow
+def test_undersized_epc():
+    assert_report_ok(undersized_epc_experiment(registrations=30))

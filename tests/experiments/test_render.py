@@ -1,0 +1,71 @@
+"""ASCII box-plot renderer."""
+
+import pytest
+
+from repro.experiments.render import ascii_boxplot, render_report_figures
+from repro.experiments.stats import summarize
+
+
+def make_summary(name, values, unit="us"):
+    return summarize(name, values, unit)
+
+
+def test_boxplot_contains_all_rows_and_axis():
+    plot = ascii_boxplot(
+        [
+            make_summary("container", [10, 12, 14, 16, 18]),
+            make_summary("sgx", [30, 34, 36, 40, 44]),
+        ],
+        title="[LT]",
+    )
+    lines = plot.splitlines()
+    assert lines[0] == "[LT]"
+    assert "container" in lines[1] and "sgx" in lines[2]
+    assert "10" in lines[-1] and "44" in lines[-1]  # shared axis extremes
+
+
+def test_boxplot_marks_median_inside_box():
+    plot = ascii_boxplot([make_summary("s", [1, 2, 3, 4, 100])])
+    row = plot.splitlines()[0]
+    assert "#" in row and "=" in row and "-" in row
+
+
+def test_rows_share_one_scale():
+    """The low series' glyphs sit left of the high series' glyphs."""
+    plot = ascii_boxplot(
+        [
+            make_summary("low", [1, 2, 3]),
+            make_summary("high", [90, 95, 100]),
+        ]
+    )
+    low_row, high_row = plot.splitlines()[:2]
+    low_extent = max(i for i, c in enumerate(low_row) if c in "|=#-")
+    bracket = high_row.index("[")
+    high_start = min(
+        i for i, c in enumerate(high_row) if c in "|=#-" and i > bracket
+    )
+    assert low_extent < high_start
+
+
+def test_empty_input_rejected():
+    with pytest.raises(ValueError):
+        ascii_boxplot([])
+
+
+def test_degenerate_distribution_renders():
+    plot = ascii_boxplot([make_summary("flat", [5.0, 5.0, 5.0])])
+    assert "flat" in plot
+
+
+def test_render_report_groups_by_metric():
+    from repro.experiments.harness import ExperimentReport
+
+    report = ExperimentReport("X", "test")
+    report.series["container/eudm/LF"] = make_summary("c LF", [1, 2, 3])
+    report.series["sgx/eudm/LF"] = make_summary("s LF", [2, 3, 4])
+    report.series["container/eudm/LT"] = make_summary("c LT", [5, 6, 7])
+    rendered = render_report_figures(report)
+    assert "[LF]" in rendered and "[LT]" in rendered
+    # LF block holds two rows, LT one.
+    lf_block = rendered.split("\n\n")[0]
+    assert lf_block.count("\n") == 3  # title + 2 rows + axis

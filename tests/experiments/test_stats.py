@@ -1,0 +1,43 @@
+"""Experiment statistics helpers."""
+
+import pytest
+
+from repro.experiments.stats import outlier_fraction, summarize
+
+
+def test_summarize_basic():
+    summary = summarize("s", [1.0, 2.0, 3.0, 4.0, 5.0], "us")
+    assert summary.n == 5
+    assert summary.mean == 3.0
+    assert summary.median == 3.0
+    assert summary.minimum == 1.0 and summary.maximum == 5.0
+    assert summary.p25 == 2.0 and summary.p75 == 4.0
+    assert summary.iqr == 2.0
+
+
+def test_summarize_single_value_has_zero_stdev():
+    summary = summarize("s", [7.0], "ms")
+    assert summary.stdev == 0.0
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize("s", [], "us")
+
+
+def test_format_contains_key_fields():
+    text = summarize("latency", [1.0, 2.0], "us").format()
+    assert "latency" in text and "mean=" in text and "us" in text
+
+
+def test_outlier_fraction_clean_data():
+    assert outlier_fraction([10.0] * 50 + [10.5] * 50) == 0.0
+
+
+def test_outlier_fraction_detects_spikes():
+    data = [10.0] * 95 + [100.0] * 5
+    assert 0.0 < outlier_fraction(data) <= 0.06
+
+
+def test_outlier_fraction_small_samples():
+    assert outlier_fraction([1.0, 2.0]) == 0.0

@@ -1,0 +1,112 @@
+"""AMF NAS state machine: ordering, MAC enforcement, GUTI allocation."""
+
+import pytest
+
+from repro.fivegc.amf import AmfError
+from repro.fivegc.messages import (
+    AuthenticationReject,
+    AuthenticationRequest,
+    AuthenticationResponse,
+    RegistrationComplete,
+    SecurityModeCommand,
+    SecurityModeComplete,
+)
+
+
+def start_registration(testbed, ue):
+    return testbed.amf.handle_nas(ue.name, ue.build_registration_request())
+
+
+def test_registration_request_yields_challenge(monolithic_testbed):
+    testbed = monolithic_testbed
+    ue = testbed.add_subscriber()
+    downlink = start_registration(testbed, ue)
+    assert isinstance(downlink, AuthenticationRequest)
+    assert len(downlink.rand) == 16 and len(downlink.autn) == 16
+    assert testbed.amf.session_state(ue.name) == "wait-auth-response"
+
+
+def test_full_nas_exchange_registers_ue(monolithic_testbed):
+    testbed = monolithic_testbed
+    ue = testbed.add_subscriber()
+    downlink = start_registration(testbed, ue)
+    while downlink is not None:
+        uplink = ue.handle_nas(downlink)
+        if uplink is None:
+            break
+        downlink = testbed.amf.handle_nas(ue.name, uplink)
+    assert ue.registered
+    assert ue.guti and ue.guti.startswith("5g-guti-00101-")
+    assert testbed.amf.registered_count() == 1
+
+
+def test_wrong_res_star_rejected(monolithic_testbed):
+    testbed = monolithic_testbed
+    ue = testbed.add_subscriber()
+    start_registration(testbed, ue)
+    downlink = testbed.amf.handle_nas(
+        ue.name, AuthenticationResponse(res_star=bytes(16))
+    )
+    assert isinstance(downlink, AuthenticationReject)
+    assert "HRES*" in downlink.cause
+    assert testbed.amf.session_state(ue.name) == "failed"
+
+
+def test_out_of_order_nas_rejected(monolithic_testbed):
+    testbed = monolithic_testbed
+    ue = testbed.add_subscriber()
+    start_registration(testbed, ue)
+    with pytest.raises(AmfError, match="out of order"):
+        testbed.amf.handle_nas(ue.name, SecurityModeComplete(mac=bytes(4)))
+
+
+def test_unknown_session_rejected(monolithic_testbed):
+    with pytest.raises(AmfError, match="no NAS session"):
+        monolithic_testbed.amf.handle_nas(
+            "ghost", AuthenticationResponse(res_star=bytes(16))
+        )
+
+
+def test_bad_smc_complete_mac_rejected(monolithic_testbed):
+    testbed = monolithic_testbed
+    ue = testbed.add_subscriber()
+    challenge = start_registration(testbed, ue)
+    response = ue.handle_nas(challenge)
+    smc = testbed.amf.handle_nas(ue.name, response)
+    assert isinstance(smc, SecurityModeCommand)
+    downlink = testbed.amf.handle_nas(
+        ue.name, SecurityModeComplete(mac=bytes(4))
+    )
+    assert isinstance(downlink, AuthenticationReject)
+
+
+def test_bad_registration_complete_mac_rejected(monolithic_testbed):
+    testbed = monolithic_testbed
+    ue = testbed.add_subscriber()
+    downlink = start_registration(testbed, ue)
+    # Walk to WAIT_REG_COMPLETE honestly.
+    downlink = testbed.amf.handle_nas(ue.name, ue.handle_nas(downlink))  # auth
+    downlink = testbed.amf.handle_nas(ue.name, ue.handle_nas(downlink))  # smc
+    reject = testbed.amf.handle_nas(ue.name, RegistrationComplete(mac=bytes(4)))
+    assert isinstance(reject, AuthenticationReject)
+
+
+def test_gutis_are_unique(monolithic_testbed):
+    testbed = monolithic_testbed
+    gutis = set()
+    for _ in range(3):
+        ue = testbed.add_subscriber()
+        outcome = testbed.register(ue, establish_session=False)
+        assert outcome.success
+        gutis.add(ue.guti)
+    assert len(gutis) == 3
+
+
+def test_pdu_session_requires_registration(monolithic_testbed):
+    from repro.fivegc.messages import PduSessionEstablishmentRequest
+
+    testbed = monolithic_testbed
+    ue = testbed.add_subscriber()
+    start_registration(testbed, ue)
+    with pytest.raises(AmfError, match="out of order"):
+        testbed.amf.handle_nas(ue.name, PduSessionEstablishmentRequest())

@@ -1,0 +1,77 @@
+"""NAS message types: discriminators, sizes, outcome container."""
+
+from repro.fivegc.messages import (
+    AuthenticationFailure,
+    AuthenticationRequest,
+    AuthenticationResponse,
+    NasMessage,
+    PduSessionEstablishmentAccept,
+    RegistrationAccept,
+    RegistrationOutcome,
+    RegistrationRequest,
+    SecurityModeCommand,
+)
+
+
+def test_kind_is_class_name():
+    assert AuthenticationRequest(rand=bytes(16), autn=bytes(16)).kind == "AuthenticationRequest"
+    assert RegistrationRequest(suci={}).kind == "RegistrationRequest"
+
+
+def test_approx_bytes_reflect_payload():
+    small = AuthenticationResponse(res_star=bytes(16))
+    assert small.approx_bytes() == 24
+    challenge = AuthenticationRequest(rand=bytes(16), autn=bytes(16))
+    assert challenge.approx_bytes() == 40
+
+
+def test_registration_request_size_grows_with_suci():
+    short = RegistrationRequest(suci={"schemeOutput": "ab"})
+    long = RegistrationRequest(suci={"schemeOutput": "ab" * 40})
+    assert long.approx_bytes() > short.approx_bytes()
+
+
+def test_messages_are_immutable():
+    import pytest
+
+    message = AuthenticationRequest(rand=bytes(16), autn=bytes(16))
+    with pytest.raises(AttributeError):
+        message.rand = bytes(16)
+
+
+def test_auth_failure_carries_auts():
+    failure = AuthenticationFailure(cause="SYNCH_FAILURE", auts=bytes(14))
+    assert failure.auts == bytes(14)
+    assert AuthenticationFailure(cause="MAC_FAILURE").auts is None
+
+
+def test_default_approx_bytes():
+    class Custom(NasMessage):
+        pass
+
+    assert Custom().approx_bytes() == 64
+
+
+def test_registration_outcome_defaults():
+    outcome = RegistrationOutcome(success=False)
+    assert outcome.supi is None
+    assert outcome.nas_exchanges == 0
+    assert outcome.detail == {}
+
+
+def test_pdu_accept_fields():
+    accept = PduSessionEstablishmentAccept(session_id=2, ue_address="10.0.0.9")
+    assert accept.session_id == 2
+    assert accept.qos_flow == "5qi-9"
+
+
+def test_smc_defaults_match_nia2_nea2():
+    smc = SecurityModeCommand(mac=bytes(4))
+    assert smc.integrity_alg == "128-NIA2"
+    assert smc.ciphering_alg == "128-NEA2"
+
+
+def test_registration_accept_size_includes_guti():
+    short = RegistrationAccept(guti="g")
+    long = RegistrationAccept(guti="5g-guti-00101-0001-deadbeef")
+    assert long.approx_bytes() > short.approx_bytes()

@@ -1,0 +1,73 @@
+"""NetworkFunction base: connections, error mapping, shutdown."""
+
+import pytest
+
+from repro.container.network import BridgeNetwork
+from repro.fivegc.nf_base import NetworkFunction
+from repro.net.rest import JsonApiError, json_response
+from repro.net.sbi import NFType
+
+
+class EchoNf(NetworkFunction):
+    NF_TYPE = NFType.UDM
+
+    def _register_routes(self):
+        def echo(request, context):
+            return json_response({"len": len(request.body)})
+
+        def boom(request, context):
+            raise JsonApiError(418, "teapot")
+
+        self._route_json("POST", "/echo", echo)
+        self._route_json("POST", "/boom", boom)
+
+
+@pytest.fixture
+def pair(host):
+    bridge = BridgeNetwork(name="sbi", host=host)
+    return EchoNf("a", host, bridge), EchoNf("b", host, bridge)
+
+
+def test_call_roundtrip(pair):
+    a, b = pair
+    response = a.call(b, "POST", "/echo", {"x": 1})
+    assert response.ok
+    assert response.json()["len"] > 0
+
+
+def test_json_api_errors_map_to_status(pair):
+    a, b = pair
+    response = a.call(b, "POST", "/boom", {})
+    assert response.status == 418
+    assert response.json()["error"] == "teapot"
+
+
+def test_connections_are_cached_keepalive(pair):
+    a, b = pair
+    first = a.connect_peer(b)
+    second = a.connect_peer(b)
+    assert first is second
+
+
+def test_connection_reopened_after_close(pair):
+    a, b = pair
+    connection = a.connect_peer(b)
+    a.client.close(connection)
+    fresh = a.connect_peer(b)
+    assert fresh is not connection
+    assert fresh.open
+
+
+def test_peer_lookup_requires_binding(pair):
+    a, _ = pair
+    with pytest.raises(RuntimeError, match="no bound peer"):
+        a.peer(NFType.SMF)
+
+
+def test_shutdown_closes_everything(pair):
+    a, b = pair
+    a.connect_peer(b)
+    a.shutdown()
+    assert not a.server.started
+    with pytest.raises(RuntimeError):
+        a.runtime.compute(1)

@@ -1,0 +1,89 @@
+"""GSC image transformation and signing."""
+
+import pytest
+
+from repro.container.image import FileEntry, ImageLayer, oai_base_image
+from repro.gramine.gsc import EXCLUDED_PATHS, GscConfig, build_gsc_image, sign_gsc_image
+from repro.gramine.manifest import GramineManifest
+
+KEY = b"operator-key-for-gsc-tests"
+
+
+@pytest.fixture
+def image():
+    img, _ = oai_base_image("eudm-aka", bulk_mb=200)
+    return img
+
+
+@pytest.fixture
+def manifest():
+    return GramineManifest(
+        entrypoint="/opt/oai/eudm-aka",
+        enclave_size="512M",
+        max_threads=4,
+        preheat_enclave=True,
+    )
+
+
+def test_build_appends_gramine_layer(image, manifest):
+    gsc = build_gsc_image(image, manifest)
+    assert any("gramine" in layer.name for layer in gsc.image.layers)
+    assert gsc.image.size_bytes > image.size_bytes
+
+
+def test_build_info_mirrors_manifest(image, manifest):
+    gsc = build_gsc_image(image, manifest)
+    info = gsc.build_info
+    assert info.enclave_size_bytes == 512 * 1024**2
+    assert info.max_threads == 4
+    assert info.preheat
+    assert info.heap_bytes < info.enclave_size_bytes
+
+
+def test_trusted_files_cover_rootfs_minus_exclusions(image, manifest):
+    excluded_file = FileEntry("/proc/cpuinfo", 1000)
+    image.layers.append(ImageLayer("proc", files=[excluded_file]))
+    gsc = build_gsc_image(image, manifest)
+    assert "/proc/cpuinfo" not in gsc.manifest.trusted_files
+    assert "/opt/oai/eudm-aka" in gsc.manifest.trusted_files
+    # The excluded file's bytes don't count toward verification work.
+    assert gsc.build_info.trusted_files_bytes == gsc.image.size_bytes - 1000
+
+
+def test_excluded_paths_match_paper():
+    assert set(EXCLUDED_PATHS) == {"/boot", "/dev", "/etc/mtab", "/proc", "/sys"}
+
+
+def test_unsigned_build_has_no_sigstruct(image, manifest):
+    gsc = build_gsc_image(image, manifest)
+    assert not gsc.signed
+    assert gsc.build_info.sigstruct is None
+
+
+def test_sign_attaches_valid_sigstruct(image, manifest):
+    gsc = sign_gsc_image(build_gsc_image(image, manifest), KEY)
+    assert gsc.signed
+    assert gsc.build_info.sigstruct.verify(KEY)
+
+
+def test_different_manifest_changes_measurement(image, manifest):
+    one = sign_gsc_image(build_gsc_image(image, manifest), KEY)
+    other_manifest = GramineManifest(
+        entrypoint="/opt/oai/eudm-aka", enclave_size="1G", max_threads=4
+    )
+    two = sign_gsc_image(build_gsc_image(image, other_manifest), KEY)
+    assert one.build_info.sigstruct.mrenclave != two.build_info.sigstruct.mrenclave
+
+
+def test_different_image_changes_measurement(manifest):
+    a, _ = oai_base_image("eudm-aka", bulk_mb=100)
+    b, _ = oai_base_image("eausf-aka", bulk_mb=100)
+    one = sign_gsc_image(build_gsc_image(a, manifest), KEY)
+    two = sign_gsc_image(build_gsc_image(b, manifest), KEY)
+    assert one.build_info.sigstruct.mrenclave != two.build_info.sigstruct.mrenclave
+
+
+def test_config_defaults_are_paper_versions():
+    config = GscConfig()
+    assert config.gramine_version == "v1.4-1-ga60a499"
+    assert config.sgx_driver == "in-kernel"

@@ -1,0 +1,161 @@
+"""Gramine LibOS: thread requirements, syscall→OCALL, warmup, exitless."""
+
+import pytest
+
+from repro.container.image import oai_base_image
+from repro.gramine.gsc import build_gsc_image, sign_gsc_image
+from repro.gramine.libos import HELPER_THREADS, GramineEnclaveRuntime, GramineError
+from repro.gramine.manifest import GramineManifest
+from repro.gramine.pal import PlatformAdaptationLayer
+from repro.hw.host import paper_testbed_host
+from repro.sgx.aesm import AesmDaemon
+from repro.sgx.epc import EpcManager
+
+KEY = b"libos-test-signing-key"
+
+
+def make_runtime(max_threads=4, enclave_size="512M", exitless=False, seed=5,
+                 start=True, bulk_mb=50):
+    host = paper_testbed_host(seed=seed)
+    epc = EpcManager(host.total_epc_bytes, host.cpu, host.rng)
+    pal = PlatformAdaptationLayer(host, epc, AesmDaemon("plat"))
+    image, _ = oai_base_image("eudm-aka", bulk_mb=bulk_mb)
+    manifest = GramineManifest(
+        entrypoint=image.entrypoint,
+        enclave_size=enclave_size,
+        max_threads=max_threads,
+        preheat_enclave=True,
+        enable_stats=True,
+    )
+    gsc = sign_gsc_image(build_gsc_image(image, manifest), KEY)
+    enclave, _ = pal.load_enclave(gsc.build_info)
+    runtime = GramineEnclaveRuntime(
+        "test-module", host, enclave, gsc.manifest, exitless=exitless
+    )
+    if start:
+        runtime.start()
+    return runtime
+
+
+def test_helper_thread_count_is_three():
+    assert HELPER_THREADS == 3
+
+
+def test_start_requires_four_threads():
+    runtime = make_runtime(max_threads=3, start=False)
+    with pytest.raises(GramineError, match="helper threads"):
+        runtime.start()
+
+
+def test_start_runs_init_ocall_burst():
+    runtime = make_runtime()
+    # "Several hundred OCALLs" during Gramine+glibc init (paper §V-B1).
+    init_ocalls = runtime.enclave.stats.ocalls_by_syscall
+    total = sum(
+        count for name, count in init_ocalls.items() if name != "pread64"
+    )  # pread64 is the trusted-file verification at load
+    assert 300 <= total <= 800
+
+
+def test_double_start_rejected():
+    runtime = make_runtime()
+    with pytest.raises(GramineError):
+        runtime.start()
+
+
+def test_syscall_becomes_ocall():
+    runtime = make_runtime()
+    before = runtime.enclave.stats.snapshot()
+    runtime.syscall("epoll_wait")
+    delta = runtime.enclave.stats.delta(before)
+    assert delta.ocalls == 1
+    assert delta.eenters == 1 and delta.eexits == 1
+
+
+def test_syscall_before_start_rejected():
+    runtime = make_runtime(start=False)
+    with pytest.raises(GramineError):
+        runtime.syscall("read")
+
+
+def test_exitless_mode_avoids_transitions():
+    runtime = make_runtime(exitless=True)
+    before = runtime.enclave.stats.snapshot()
+    runtime.syscall("epoll_wait")
+    delta = runtime.enclave.stats.delta(before)
+    assert delta.ocalls == 1  # logically still an OCALL
+    assert delta.eenters == 0 and delta.eexits == 0
+
+
+def test_exitless_syscalls_are_cheaper():
+    transitioning = make_runtime(seed=6)
+    exitless = make_runtime(seed=6, exitless=True)
+
+    t0 = transitioning.host.clock.now_ns
+    for _ in range(50):
+        transitioning.syscall("epoll_wait")
+    cost_transitioning = transitioning.host.clock.now_ns - t0
+
+    t0 = exitless.host.clock.now_ns
+    for _ in range(50):
+        exitless.syscall("epoll_wait")
+    cost_exitless = exitless.host.clock.now_ns - t0
+    assert cost_exitless < cost_transitioning
+
+
+def test_secrets_live_in_enclave():
+    runtime = make_runtime()
+    runtime.store_secret("k", b"\xaa" * 16)
+    assert runtime.load_secret("k") == b"\xaa" * 16
+    assert b"\xaa" * 16 not in runtime.memory_view("container-engine")
+
+
+def test_shielded_flag_and_stats():
+    runtime = make_runtime()
+    assert runtime.shielded
+    assert runtime.sgx_stats is runtime.enclave.stats
+
+
+def test_lazy_warmup_runs_once():
+    runtime = make_runtime()
+    assert runtime.lazy_warmup() is True
+    assert runtime.lazy_warmup() is False
+
+
+def test_lazy_warmup_costs_milliseconds():
+    runtime = make_runtime()
+    t0 = runtime.host.clock.now_ns
+    runtime.lazy_warmup()
+    elapsed_ms = (runtime.host.clock.now_ns - t0) / 1e6
+    assert 5.0 < elapsed_ms < 40.0
+
+
+def test_shutdown_destroys_enclave():
+    runtime = make_runtime()
+    runtime.shutdown()
+    assert runtime.enclave.destroyed
+    with pytest.raises(GramineError):
+        runtime.syscall("read")
+
+
+def test_idle_books_aex_on_enclave():
+    runtime = make_runtime()
+    before = runtime.enclave.stats.snapshot()
+    runtime.idle(5.0)
+    assert runtime.enclave.stats.delta(before).aexs > 0
+
+
+def test_degraded_flag_below_working_set():
+    healthy = make_runtime(seed=7)
+    assert not healthy.degraded
+    degraded = make_runtime(seed=7, enclave_size="256M")
+    assert degraded.degraded
+
+
+def test_degraded_runtime_thrashes():
+    degraded = make_runtime(seed=8, enclave_size="256M")
+    before = degraded.enclave.stats.snapshot()
+    for _ in range(200):
+        degraded.syscall("epoll_wait")
+    delta = degraded.enclave.stats.delta(before)
+    assert delta.page_evictions > 20  # evict/reload churn under thrash

@@ -1,0 +1,43 @@
+"""CPU model: cycle accounting and conversions."""
+
+import pytest
+
+from repro.hw.cpu import XEON_SILVER_4314, Cpu, CpuSpec
+from repro.sim.clock import SimClock
+
+
+def test_paper_cpu_spec():
+    assert XEON_SILVER_4314.frequency_hz == 2.40e9
+    assert XEON_SILVER_4314.sgx_version == 2
+    assert XEON_SILVER_4314.sgx_capable
+    assert XEON_SILVER_4314.max_epc_bytes == 8 * 1024**3
+
+
+def test_spend_cycles_advances_clock():
+    clock = SimClock()
+    cpu = Cpu(XEON_SILVER_4314, clock)
+    cpu.spend_cycles(2_400)  # 1 us at 2.4 GHz
+    assert clock.now_ns == 1_000
+
+
+def test_spend_cycles_accumulates_counter():
+    cpu = Cpu(XEON_SILVER_4314, SimClock())
+    cpu.spend_cycles(100)
+    cpu.spend_cycles(200)
+    assert cpu.cycles_spent == 300
+
+
+def test_spend_cycles_rejects_negative():
+    cpu = Cpu(XEON_SILVER_4314, SimClock())
+    with pytest.raises(ValueError):
+        cpu.spend_cycles(-1)
+
+
+def test_cycles_ns_conversions_are_inverse():
+    cpu = Cpu(XEON_SILVER_4314, SimClock())
+    assert cpu.ns_to_cycles(cpu.cycles_to_ns(12_345)) == pytest.approx(12_345)
+
+
+def test_non_sgx_cpu():
+    spec = CpuSpec("old-xeon", 2.0e9, 8, sgx_version=0, max_epc_bytes=0)
+    assert not spec.sgx_capable

@@ -1,0 +1,54 @@
+"""RAM regions and PRM carve-out."""
+
+import pytest
+
+from repro.hw.memory import MemoryRegion, OutOfMemoryError, Ram
+
+
+def test_allocation_accounting():
+    region = MemoryRegion("r", 1000)
+    region.allocate("a", 400)
+    region.allocate("b", 100)
+    assert region.used_bytes == 500
+    assert region.free_bytes == 500
+    assert region.owned_by("a") == 400
+
+
+def test_allocation_accumulates_per_owner():
+    region = MemoryRegion("r", 1000)
+    region.allocate("a", 100)
+    region.allocate("a", 200)
+    assert region.owned_by("a") == 300
+
+
+def test_over_allocation_raises():
+    region = MemoryRegion("r", 100)
+    with pytest.raises(OutOfMemoryError):
+        region.allocate("a", 101)
+
+
+def test_negative_allocation_rejected():
+    with pytest.raises(ValueError):
+        MemoryRegion("r", 100).allocate("a", -1)
+
+
+def test_release_frees_everything_for_owner():
+    region = MemoryRegion("r", 1000)
+    region.allocate("a", 300)
+    assert region.release("a") == 300
+    assert region.free_bytes == 1000
+    assert region.release("a") == 0  # idempotent
+
+
+def test_ram_prm_carveout():
+    ram = Ram(capacity_bytes=1024, prm_bytes=256)
+    assert ram.general.capacity_bytes == 768
+    assert ram.prm.capacity_bytes == 256
+    assert ram.prm.encrypted
+    assert not ram.general.encrypted
+    assert ram.capacity_bytes == 1024
+
+
+def test_prm_cannot_exceed_ram():
+    with pytest.raises(ValueError):
+        Ram(capacity_bytes=100, prm_bytes=200)

@@ -1,0 +1,47 @@
+"""Determinism: identical seeds produce bit-identical runs.
+
+Reproducibility is a headline property of the harness (EXPERIMENTS.md):
+all randomness flows through named seeded streams and no wall-clock time
+leaks in, so any two runs with the same seed agree on every simulated
+quantity.
+"""
+
+from repro.paka.deploy import IsolationMode
+from repro.testbed import Testbed, TestbedConfig
+
+
+def run_once(seed):
+    testbed = Testbed.build(TestbedConfig(isolation=IsolationMode.SGX, seed=seed))
+    outcomes = []
+    for _ in range(3):
+        ue = testbed.add_subscriber()
+        outcome = testbed.register(ue)
+        outcomes.append((outcome.guti, round(outcome.session_setup_ms, 6), ue.kamf))
+    eudm = testbed.paka.modules["eudm"]
+    return {
+        "outcomes": outcomes,
+        "clock": testbed.host.clock.now_ns,
+        "eenters": eudm.runtime.sgx_stats.eenters,
+        "load_ns": {k: s.ns for k, s in testbed.paka.load_spans.items()},
+        "lt": tuple(round(x, 9) for x in eudm.server.lt_us),
+    }
+
+
+def test_same_seed_identical_everything():
+    assert run_once(7) == run_once(7)
+
+
+def test_different_seed_different_randomness():
+    a, b = run_once(7), run_once(8)
+    # Different RAND/keys → different GUTIs and key material...
+    assert a["outcomes"] != b["outcomes"]
+    # ...and jitter differs, but the counter structure is identical.
+    assert a["eenters"] == b["eenters"]
+
+
+def test_experiment_reports_are_deterministic():
+    from repro.experiments.figures import figure9_functional_total_latency
+
+    one = figure9_functional_total_latency(registrations=8, seed=42)
+    two = figure9_functional_total_latency(registrations=8, seed=42)
+    assert one.derived == two.derived

@@ -1,0 +1,134 @@
+"""HTTP layer: routing, instrumentation, TLS-on-the-wire."""
+
+import json
+
+import pytest
+
+from repro.container.network import BridgeNetwork
+from repro.net.http import (
+    HttpClient,
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    HttpServer,
+)
+from repro.net.rest import json_response
+from repro.runtime.native import NativeRuntime
+
+
+@pytest.fixture
+def bridge(host):
+    return BridgeNetwork(name="test-bridge", host=host)
+
+
+@pytest.fixture
+def server(host, bridge):
+    server = HttpServer("srv", NativeRuntime("srv", host), bridge)
+    server.route(
+        "POST", "/echo",
+        lambda request, context: json_response({"echo": request.body.decode()}),
+    )
+    server.start()
+    return server
+
+
+@pytest.fixture
+def client(host, bridge):
+    return HttpClient("cli", NativeRuntime("cli", host), bridge)
+
+
+def test_request_response_roundtrip(server, client):
+    connection = client.connect(server)
+    response = client.request(connection, "POST", "/echo", body=b"hello")
+    assert response.ok
+    assert response.json() == {"echo": "hello"}
+
+
+def test_unknown_route_raises(server, client):
+    connection = client.connect(server)
+    with pytest.raises(HttpError, match="no route"):
+        client.request(connection, "GET", "/missing")
+
+
+def test_server_must_be_started(host, bridge, client):
+    cold = HttpServer("cold", NativeRuntime("cold", host), bridge)
+    with pytest.raises(HttpError, match="not started"):
+        client.connect(cold)
+
+
+def test_double_start_rejected(server):
+    with pytest.raises(HttpError):
+        server.start()
+
+
+def test_wire_format_roundtrip():
+    request = HttpRequest("POST", "/p", body=b"body", headers={"X": "1"})
+    assert HttpRequest.from_wire(request.wire_bytes()) == request
+    response = HttpResponse(201, body=b"out", headers={"Y": "2"})
+    restored = HttpResponse.from_wire(response.wire_bytes())
+    assert restored.status == 201 and restored.body == b"out"
+
+
+def test_latency_metrics_recorded(server, client):
+    connection = client.connect(server)
+    client.request(connection, "POST", "/echo", body=b"x")
+    client.request(connection, "POST", "/echo", body=b"x")
+    assert len(server.lf_us) == 2
+    assert len(server.lt_us) == 2
+    assert server.lt_us[0] >= server.lf_us[0]  # L_T = L_F + L_N
+    assert server.lf_us_by_path["/echo"] == server.lf_us
+    assert len(client.response_times_us) == 2
+    assert client.response_times_us[0] > server.lt_us[0]  # R > L_T
+
+
+def test_response_times_keyed_by_server(server, client, host, bridge):
+    other = HttpServer("srv2", NativeRuntime("srv2", host), bridge)
+    other.route("GET", "/", lambda req, ctx: json_response({}))
+    other.start()
+    c1 = client.connect(server)
+    c2 = client.connect(other)
+    client.request(c1, "POST", "/echo", body=b"x")
+    client.request(c2, "GET", "/")
+    assert len(client.response_times_by_server["srv"]) == 1
+    assert len(client.response_times_by_server["srv2"]) == 1
+
+
+def test_handler_charges_fall_in_lf_window(server, client, host):
+    slow_calls = []
+
+    def slow_handler(request, context):
+        context.runtime.compute(240_000)  # 100 us
+        slow_calls.append(1)
+        return json_response({})
+
+    server.route("GET", "/slow", slow_handler)
+    connection = client.connect(server)
+    client.request(connection, "GET", "/slow")
+    assert slow_calls
+    assert server.lf_us_by_path["/slow"][0] >= 100.0
+
+
+def test_payload_is_tls_protected_on_the_wire(server, client, bridge):
+    connection = client.connect(server)
+    bridge.start_capture()
+    client.request(connection, "POST", "/echo", body=b"kausf=deadbeef")
+    frames = bridge.stop_capture()
+    assert frames, "request and response frames expected"
+    for frame in frames:
+        assert b"kausf" not in frame.payload
+        assert b"deadbeef" not in frame.payload
+
+
+def test_closed_connection_rejected(server, client):
+    connection = client.connect(server)
+    client.close(connection)
+    with pytest.raises(HttpError):
+        client.request(connection, "POST", "/echo", body=b"x")
+
+
+def test_requests_advance_simulated_time(server, client, host):
+    connection = client.connect(server)
+    t0 = host.clock.now_ns
+    client.request(connection, "POST", "/echo", body=b"x")
+    elapsed_us = (host.clock.now_ns - t0) / 1000
+    assert 100 < elapsed_us < 2_000  # sub-millisecond intra-host exchange

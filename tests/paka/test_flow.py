@@ -1,0 +1,65 @@
+"""Fig 5 flow conformance."""
+
+import pytest
+
+from repro.paka.deploy import IsolationMode
+from repro.paka.flow import (
+    FIGURE5_SEQUENCE,
+    format_flow,
+    record_registration_flow,
+    verify_figure5,
+)
+from repro.testbed import Testbed, TestbedConfig
+
+
+@pytest.mark.parametrize("isolation", [IsolationMode.CONTAINER, IsolationMode.SGX])
+def test_offloaded_flow_matches_figure5(isolation):
+    testbed = Testbed.build(TestbedConfig(isolation=isolation, seed=181))
+    verdict = verify_figure5(testbed)
+    assert verdict.conforms, verdict.violations
+
+
+def test_flow_is_stable_across_registrations(sgx_testbed):
+    first = verify_figure5(sgx_testbed)
+    second = verify_figure5(sgx_testbed)
+    assert first.conforms and second.conforms
+    # Steady state has the same shape every time.
+    assert [x.path for x in first.observed] == [x.path for x in second.observed]
+
+
+def test_monolithic_flow_has_no_module_exchanges():
+    testbed = Testbed.build(TestbedConfig(isolation=None, seed=182))
+    observed = record_registration_flow(testbed)
+    paths = [x.path for x in observed]
+    assert not any("paka" in path for path in paths)
+    verdict = verify_figure5(testbed)
+    assert not verdict.conforms  # the offload exchanges are missing
+
+
+def test_resync_flow_adds_verify_auts():
+    testbed = Testbed.build(TestbedConfig(isolation=IsolationMode.SGX, seed=183))
+    events = testbed.host.events
+    before = len(events.select("sbi.request"))
+    ue = testbed.add_subscriber()
+    ue.usim.sqn_ms = 1 << 34
+    assert testbed.register(ue, establish_session=False).success
+    paths = [
+        str(e.detail["path"]) for e in events.select("sbi.request")[before:]
+    ]
+    assert "/eudm-paka/v1/verify-auts" in paths
+    # Two challenges were generated: the stale one and the resynced one.
+    assert paths.count("/eudm-paka/v1/generate-av") == 2
+
+
+def test_figure5_sequence_covers_all_three_modules():
+    dsts = {path for _, path in FIGURE5_SEQUENCE}
+    assert any("eudm" in p for p in dsts)
+    assert any("eausf" in p for p in dsts)
+    assert any("eamf" in p for p in dsts)
+
+
+def test_format_flow_renders_ladder(sgx_testbed):
+    verdict = verify_figure5(sgx_testbed)
+    text = format_flow(verdict.observed, sgx_testbed)
+    assert "udm    -> eudm" in text.replace("  ", " ").replace("  ", " ") or "udm -> eudm" in " ".join(text.split())
+    assert "/eamf-paka/v1/derive-kamf" in text

@@ -1,0 +1,125 @@
+"""Attested provisioning: keys only flow into verified enclaves."""
+
+import hashlib
+
+import pytest
+
+from repro.paka.provisioning import (
+    ModuleProvisioningAgent,
+    OperatorProvisioner,
+    ProvisioningError,
+    ProvisioningOffer,
+    SealedKeyDelivery,
+)
+from repro.sgx.attestation import AttestationService, Quote, QuotingEnclave
+from repro.testbed import Testbed, TestbedConfig
+from repro.paka.deploy import IsolationMode
+
+SUBSCRIBER_KEYS = {
+    "imsi-001010000000001": bytes(range(16)),
+    "imsi-001010000000002": bytes(range(16, 32)),
+}
+OPERATOR_PRIVATE = bytes(range(64, 96))
+
+
+@pytest.fixture(scope="module")
+def setup():
+    testbed = Testbed.build(TestbedConfig(isolation=IsolationMode.SGX, seed=131))
+    runtime = testbed.paka.module("eudm").runtime
+    service = AttestationService()
+    qe = QuotingEnclave("platform-0", service)
+    agent = ModuleProvisioningAgent(runtime, qe)
+    enclave = testbed.paka.enclaves["eudm"]
+    provisioner = OperatorProvisioner(
+        service,
+        expected_mrenclave=enclave.measurement.mrenclave,
+        allow_debug=True,  # the paper's build runs debug for stats
+    )
+    return testbed, agent, provisioner
+
+
+def test_happy_path_installs_keys(setup):
+    testbed, agent, provisioner = setup
+    offer = agent.make_offer()
+    delivery = provisioner.deliver_keys(offer, SUBSCRIBER_KEYS, OPERATOR_PRIVATE)
+    installed = agent.accept_delivery(delivery)
+    assert installed == 2
+    runtime = testbed.paka.module("eudm").runtime
+    for supi, k in SUBSCRIBER_KEYS.items():
+        assert runtime.load_secret(f"k:{supi}") == k
+
+
+def test_keys_are_ciphertext_in_transit(setup):
+    _, agent, provisioner = setup
+    offer = agent.make_offer()
+    delivery = provisioner.deliver_keys(offer, SUBSCRIBER_KEYS, OPERATOR_PRIVATE)
+    for k in SUBSCRIBER_KEYS.values():
+        assert k not in delivery.ciphertext
+        assert k.hex().encode() not in delivery.ciphertext
+
+
+def test_wrong_measurement_refused(setup):
+    _, agent, _ = setup
+    service_view = AttestationService()
+    QuotingEnclave("platform-0", service_view)  # re-provision the platform key
+    strict = OperatorProvisioner(
+        service_view, expected_mrenclave=bytes(32), allow_debug=True
+    )
+    with pytest.raises(ProvisioningError, match="attestation failed"):
+        strict.deliver_keys(agent.make_offer(), SUBSCRIBER_KEYS, OPERATOR_PRIVATE)
+
+
+def test_substituted_public_key_refused(setup):
+    """A MITM swapping the offered pubkey breaks the quote binding."""
+    _, agent, provisioner = setup
+    offer = agent.make_offer()
+    mitm = ProvisioningOffer(module_public_key=bytes(32), quote=offer.quote)
+    with pytest.raises(ProvisioningError, match="bind"):
+        provisioner.deliver_keys(mitm, SUBSCRIBER_KEYS, OPERATOR_PRIVATE)
+
+
+def test_forged_quote_refused(setup):
+    _, agent, provisioner = setup
+    offer = agent.make_offer()
+    forged = ProvisioningOffer(
+        module_public_key=offer.module_public_key,
+        quote=Quote(
+            mrenclave=offer.quote.mrenclave,
+            mrsigner=offer.quote.mrsigner,
+            isv_prod_id=0,
+            isv_svn=0,
+            report_data=offer.quote.report_data,
+            platform_id="rogue-platform",
+            debug=False,
+            signature=bytes(32),
+        ),
+    )
+    with pytest.raises(ProvisioningError, match="attestation failed"):
+        provisioner.deliver_keys(forged, SUBSCRIBER_KEYS, OPERATOR_PRIVATE)
+
+
+def test_tampered_delivery_refused(setup):
+    _, agent, provisioner = setup
+    offer = agent.make_offer()
+    delivery = provisioner.deliver_keys(offer, SUBSCRIBER_KEYS, OPERATOR_PRIVATE)
+    tampered = SealedKeyDelivery(
+        operator_public_key=delivery.operator_public_key,
+        ciphertext=bytes([delivery.ciphertext[0] ^ 1]) + delivery.ciphertext[1:],
+        tag=delivery.tag,
+    )
+    with pytest.raises(ProvisioningError, match="authentication failed"):
+        agent.accept_delivery(tampered)
+
+
+def test_provisioned_keys_enable_registration(setup):
+    """Keys delivered over the attested channel work for real AKA."""
+    testbed, agent, provisioner = setup
+    ue = testbed.add_subscriber()  # UDR + direct module provisioning
+    # Re-deliver the same subscriber's key through the attested channel
+    # (overwriting the direct provisioning with identical material).
+    offer = agent.make_offer()
+    delivery = provisioner.deliver_keys(
+        offer, {str(ue.usim.supi): ue.usim._k}, OPERATOR_PRIVATE
+    )
+    agent.accept_delivery(delivery)
+    assert testbed.register(ue, establish_session=False).success

@@ -1,0 +1,112 @@
+"""Property-based SGX invariants: transitions balance, EPC bounds, sealing."""
+
+import hashlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.host import paper_testbed_host
+from repro.sgx.enclave import Enclave, EnclaveBuildInfo
+from repro.sgx.epc import PAGE_SIZE, EpcManager
+from repro.sgx.measurement import EnclaveMeasurement, MeasurementBuilder, sign_enclave
+from repro.sgx.sealing import seal, unseal
+
+
+def build_enclave(seed=0, threads=4):
+    host = paper_testbed_host(seed=seed)
+    epc = EpcManager(host.total_epc_bytes, host.cpu, host.rng)
+    measurement = EnclaveMeasurement(mrenclave=hashlib.sha256(b"prop").digest())
+    build = EnclaveBuildInfo(
+        name="prop-enclave",
+        enclave_size_bytes=64 * 1024 * 1024,
+        max_threads=threads,
+        measured_bytes=1024 * 1024,
+        trusted_files_bytes=1024 * 1024,
+        heap_bytes=32 * 1024 * 1024,
+        sigstruct=sign_enclave(measurement, b"prop-key"),
+    )
+    enclave = Enclave(host, build, epc)
+    enclave.load()
+    return enclave
+
+
+# Each op: (kind, payload) where kind 0=ecall with n ocalls, 1=idle.
+operations = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1), st.integers(min_value=0, max_value=6)),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(ops=operations)
+@settings(max_examples=20, deadline=None)
+def test_transitions_always_balance(ops):
+    """After any sequence of completed ECALLs (with nested OCALLs) and
+    idle windows: EENTERs == EEXITs, and AEX re-entries are ERESUMEs."""
+    enclave = build_enclave()
+    baseline = enclave.stats.snapshot()
+    for kind, amount in ops:
+        if kind == 0:
+            with enclave.ecall("op") as ctx:
+                for _ in range(amount):
+                    ctx.ocall("read", bytes_in=64)
+        else:
+            enclave.run_idle(float(amount))
+    delta = enclave.stats.delta(baseline)
+    assert delta.eenters == delta.eexits
+    assert delta.eresumes == delta.aexs
+    assert delta.ocalls == sum(n for kind, n in ops if kind == 0)
+
+
+@given(faults=st.lists(st.integers(min_value=1, max_value=5000), min_size=1, max_size=12))
+@settings(max_examples=20, deadline=None)
+def test_epc_residency_never_exceeds_capacity(faults):
+    host = paper_testbed_host(seed=3)
+    manager = EpcManager(4096 * PAGE_SIZE, host.cpu, host.rng)
+    regions = [
+        manager.create_region(f"e{i}", 5000 * PAGE_SIZE) for i in range(3)
+    ]
+    for index, pages in enumerate(faults):
+        manager.fault_in(regions[index % 3], pages)
+        assert manager.resident_pages <= manager.capacity_pages
+        for region in regions:
+            assert 0 <= region.resident_pages <= region.total_pages
+
+
+@given(secret=st.binary(max_size=128))
+@settings(max_examples=20, deadline=None)
+def test_sealing_roundtrip_any_secret(secret):
+    enclave = build_enclave()
+    assert unseal(enclave, seal(enclave, secret)) == secret
+
+
+@given(
+    chunks=st.lists(st.binary(min_size=1, max_size=32), min_size=1, max_size=8),
+)
+@settings(max_examples=25, deadline=None)
+def test_measurement_depends_on_every_chunk(chunks):
+    def measure(chunk_list):
+        builder = MeasurementBuilder()
+        builder.ecreate(1 << 20)
+        for offset, chunk in enumerate(chunk_list):
+            builder.eadd(offset * 4096, flags="rx")
+            builder.eextend(offset * 4096, chunk)
+        return builder.finalize().mrenclave
+
+    original = measure(chunks)
+    mutated = list(chunks)
+    mutated[0] = mutated[0][:-1] + bytes([mutated[0][-1] ^ 1])
+    assert measure(mutated) != original
+
+
+@given(windows=st.lists(st.floats(min_value=0.1, max_value=30.0), min_size=1, max_size=6))
+@settings(max_examples=15, deadline=None)
+def test_aex_rate_is_window_additive(windows):
+    """AEX counts accumulate ~linearly: the total over split windows is
+    close to one window of the summed duration."""
+    split = build_enclave(seed=10)
+    for window in windows:
+        split.run_idle(window)
+    combined = build_enclave(seed=11)
+    combined.run_idle(sum(windows))
+    assert abs(split.stats.aexs - combined.stats.aexs) <= 0.02 * combined.stats.aexs + len(windows)

@@ -1,0 +1,57 @@
+"""OTA testbed: USRP gNB + commercial UE (Fig 11 / Table IV)."""
+
+import pytest
+
+from repro.ran.sdr import SDR_AIRLINK, OtaTestbed, UsrpX310
+
+
+def test_usrp_defaults_match_table_iv():
+    radio = UsrpX310()
+    assert radio.frequency_ghz == 3.6192
+    assert radio.prbs == 106
+    radio.validate()
+
+
+def test_usrp_validation_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        UsrpX310(frequency_ghz=28.0).validate()  # mmWave: not an x310 band
+    with pytest.raises(ValueError):
+        UsrpX310(prbs=100).validate()
+
+
+def test_ota_success_with_test_plmn(sgx_testbed):
+    ota = OtaTestbed(sgx_testbed)
+    result = ota.run()
+    assert result.detected
+    assert result.registration is not None and result.registration.success
+    assert result.data_session
+    assert result.success
+
+
+def test_ota_custom_plmn_not_detected(sgx_testbed):
+    ota = OtaTestbed(sgx_testbed, plmn="90170")
+    result = ota.run()
+    assert not result.detected
+    assert result.registration is None
+    assert not result.success
+
+
+def test_ota_wrong_os_fails_end_to_end(sgx_testbed):
+    ue = sgx_testbed.add_subscriber(commercial=True, os_version="10.5.9.IN21DA")
+    result = OtaTestbed(sgx_testbed).run(ue)
+    assert result.detected  # cell search works
+    assert not result.success  # but no end-to-end connection
+
+
+def test_ota_pushes_user_plane_traffic(sgx_testbed):
+    before = sgx_testbed.upf.packets_forwarded
+    result = OtaTestbed(sgx_testbed).run()
+    assert result.success
+    assert sgx_testbed.upf.packets_forwarded == before + 3
+
+
+def test_sdr_airlink_slower_than_gnbsim():
+    from repro.ran.gnb import AirLinkModel
+
+    assert SDR_AIRLINK.base_ms > AirLinkModel().base_ms
+    assert SDR_AIRLINK.rrc_setup_ms > AirLinkModel().rrc_setup_ms

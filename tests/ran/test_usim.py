@@ -1,0 +1,118 @@
+"""USIM: AUTN verification, SQN window, resynchronisation."""
+
+import pytest
+
+from repro.aka import generate_he_av
+from repro.crypto.kdf import serving_network_name
+from repro.crypto.suci import Supi
+from repro.ran.usim import Usim, UsimError, verify_auts
+
+K = bytes.fromhex("465b5ce8b199b49faa5f0a2ee238a6bc")
+OPC = bytes.fromhex("cd63cb71954a9f4e48a5994e37a02baf")
+SNN = serving_network_name("001", "01")
+SUPI = Supi("001", "01", "0000000001")
+RAND = bytes(range(16))
+
+
+def make_usim(sqn_ms=0):
+    return Usim(supi=SUPI, k=K, opc=OPC, sqn_ms=sqn_ms)
+
+
+def challenge(sqn=1, rand=RAND, k=K, opc=OPC):
+    return generate_he_av(
+        k=k, opc=opc, rand=rand, sqn=sqn.to_bytes(6, "big"), snn=SNN
+    )
+
+
+def test_successful_authentication_matches_network():
+    usim = make_usim()
+    he_av = challenge(sqn=1)
+    result = usim.authenticate(he_av.rand, he_av.autn, SNN)
+    assert result.success
+    # Mutual agreement: UE derives exactly the network's XRES* and K_AUSF.
+    assert result.res_star == he_av.xres_star
+    assert result.kausf == he_av.kausf
+    assert result.kseaf is not None
+
+
+def test_sqn_ms_advances_on_success():
+    usim = make_usim()
+    he_av = challenge(sqn=5)
+    assert usim.authenticate(he_av.rand, he_av.autn, SNN).success
+    assert usim.sqn_ms == 5
+
+
+def test_mac_failure_for_wrong_key():
+    usim = Usim(supi=SUPI, k=bytes(16), opc=OPC)
+    he_av = challenge()  # generated under the real K
+    result = usim.authenticate(he_av.rand, he_av.autn, SNN)
+    assert not result.success
+    assert result.cause == "MAC_FAILURE"
+    assert result.res_star is None
+
+
+def test_tampered_autn_rejected():
+    usim = make_usim()
+    he_av = challenge()
+    for position in range(16):
+        tampered = bytearray(he_av.autn)
+        tampered[position] ^= 0x01
+        result = usim.authenticate(he_av.rand, bytes(tampered), SNN)
+        assert not result.success, f"tampered AUTN byte {position} accepted"
+
+
+def test_replayed_challenge_triggers_resync():
+    usim = make_usim()
+    he_av = challenge(sqn=3)
+    assert usim.authenticate(he_av.rand, he_av.autn, SNN).success
+    replay = usim.authenticate(he_av.rand, he_av.autn, SNN)
+    assert not replay.success
+    assert replay.cause == "SYNCH_FAILURE"
+    assert replay.auts is not None
+
+
+def test_stale_sqn_triggers_resync():
+    usim = make_usim(sqn_ms=100)
+    he_av = challenge(sqn=50)
+    result = usim.authenticate(he_av.rand, he_av.autn, SNN)
+    assert result.cause == "SYNCH_FAILURE"
+
+
+def test_sqn_too_far_ahead_triggers_resync():
+    usim = make_usim()
+    he_av = challenge(sqn=Usim.SQN_DELTA + 2)
+    result = usim.authenticate(he_av.rand, he_av.autn, SNN)
+    assert result.cause == "SYNCH_FAILURE"
+
+
+def test_auts_recovers_sqn_ms_at_home_network():
+    usim = make_usim(sqn_ms=77)
+    he_av = challenge(sqn=10)  # stale
+    result = usim.authenticate(he_av.rand, he_av.autn, SNN)
+    recovered = verify_auts(K, OPC, he_av.rand, result.auts)
+    assert recovered == 77
+
+
+def test_forged_auts_rejected():
+    assert verify_auts(K, OPC, RAND, bytes(14)) is None
+    assert verify_auts(K, OPC, RAND, b"short") is None
+
+
+def test_input_validation():
+    usim = make_usim()
+    with pytest.raises(UsimError):
+        usim.authenticate(b"short", bytes(16), SNN)
+    with pytest.raises(UsimError):
+        Usim(supi=SUPI, k=b"short", opc=OPC)
+
+
+def test_snn_binding():
+    """A challenge is only valid for the serving network it was built for:
+    RES* differs across SNNs, so a rogue SN cannot reuse vectors."""
+    usim = make_usim()
+    he_av = challenge(sqn=1)
+    other_snn = serving_network_name("901", "70")
+    result = usim.authenticate(he_av.rand, he_av.autn, other_snn)
+    # MAC passes (AUTN is SNN-independent) but the derived RES* differs.
+    assert result.success
+    assert result.res_star != he_av.xres_star

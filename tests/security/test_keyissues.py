@@ -1,0 +1,70 @@
+"""Table V: the executed key-issue catalogue."""
+
+import pytest
+
+from repro.paka.deploy import IsolationMode
+from repro.security.keyissues import (
+    KEY_ISSUES,
+    KeyIssue,
+    Mitigation,
+    evaluate_key_issues,
+    format_table_v,
+)
+from repro.testbed import Testbed, TestbedConfig
+
+
+@pytest.fixture(scope="module")
+def verdicts():
+    container = Testbed.build(TestbedConfig(isolation=IsolationMode.CONTAINER, seed=51))
+    hmee = Testbed.build(TestbedConfig(isolation=IsolationMode.SGX, seed=51))
+    return evaluate_key_issues(container, hmee)
+
+
+def test_catalogue_covers_papers_13_kis():
+    assert [ki.number for ki in KEY_ISSUES] == [2, 5, 6, 7, 11, 12, 13, 15, 20, 21, 25, 26, 27]
+
+
+def test_3gpp_identified_kis_are_6_7_15_25():
+    marked = {ki.number for ki in KEY_ISSUES if ki.identified_by_3gpp}
+    assert marked == {6, 7, 15, 25}
+
+
+def test_full_vs_partial_split_matches_paper():
+    full = {ki.number for ki in KEY_ISSUES if ki.paper_verdict is Mitigation.FULL}
+    partial = {ki.number for ki in KEY_ISSUES if ki.paper_verdict is Mitigation.PARTIAL}
+    assert full == {2, 6, 7, 13, 15, 25, 27}
+    assert partial == {5, 11, 12, 20, 21, 26}
+
+
+def test_partial_verdicts_name_residual_requirements():
+    for ki in KEY_ISSUES:
+        if ki.paper_verdict is Mitigation.PARTIAL:
+            assert ki.residual, f"KI {ki.number} partial without residual note"
+
+
+def test_every_attack_succeeds_on_container(verdicts):
+    for verdict in verdicts:
+        assert verdict.attack_on_container.succeeded, (
+            f"KI {verdict.issue.number}: attack did not demonstrate the issue"
+        )
+
+
+def test_every_attack_fails_on_hmee(verdicts):
+    for verdict in verdicts:
+        assert not verdict.attack_on_hmee.succeeded, (
+            f"KI {verdict.issue.number}: HMEE did not mitigate"
+        )
+
+
+def test_all_13_kis_effective(verdicts):
+    assert sum(1 for v in verdicts if v.hmee_effective) == 13
+    assert all(v.matches_paper for v in verdicts)
+
+
+def test_rows_render_table_v(verdicts):
+    table = format_table_v(verdicts)
+    assert "Function isolation" in table
+    assert "Secrets in NF container images" in table
+    assert table.count("succeeds") == 13  # container column
+    rows = [v.row() for v in verdicts]
+    assert {row["Solution"] for row in rows} == {"✦", "◑"}

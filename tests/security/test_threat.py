@@ -1,0 +1,70 @@
+"""Attacker model: capability chain and gating."""
+
+import pytest
+
+from repro.security.threat import (
+    Attacker,
+    AttackerCapability,
+    CapabilityError,
+    CoResidencyError,
+)
+
+
+@pytest.fixture
+def attacker(container_testbed):
+    return Attacker(
+        name="mallory", host=container_testbed.host, engine=container_testbed.engine
+    )
+
+
+def test_coresidency_usually_succeeds(attacker):
+    assert attacker.achieve_coresidency()
+    assert AttackerCapability.CO_RESIDENT in attacker.capabilities
+
+
+def test_escalation_requires_coresidency(attacker):
+    with pytest.raises(CoResidencyError):
+        attacker.escalate("CVE-2022-31705")
+
+
+def test_vm_escape_grants_everything(attacker):
+    attacker.achieve_coresidency()
+    attacker.escalate("CVE-2022-31705")
+    assert AttackerCapability.HOST_ROOT in attacker.capabilities
+    assert AttackerCapability.ENGINE_PRIVILEGES in attacker.capabilities
+    assert AttackerCapability.NETWORK_TAP in attacker.capabilities
+
+
+def test_engine_misconfig_grants_only_engine(attacker):
+    attacker.achieve_coresidency()
+    attacker.escalate("engine-api-misconfig")
+    assert AttackerCapability.ENGINE_PRIVILEGES in attacker.capabilities
+    assert AttackerCapability.HOST_ROOT not in attacker.capabilities
+
+
+def test_patched_vulnerability_fails(attacker):
+    attacker.achieve_coresidency()
+    with pytest.raises(CapabilityError):
+        attacker.escalate("CVE-1999-0000")
+
+
+def test_primitives_gated_on_capabilities(attacker, container_testbed):
+    container = next(iter(container_testbed.paka.containers.values()))
+    with pytest.raises(CapabilityError):
+        attacker.introspect_container(container.name)
+    with pytest.raises(CapabilityError):
+        attacker.tap_bridge("oai-bridge")
+
+
+def test_full_chain_reaches_root(attacker):
+    assert attacker.full_chain()
+    assert len(attacker.log) >= 2
+
+
+def test_introspection_after_chain(attacker, container_testbed):
+    ue = container_testbed.add_subscriber()
+    assert container_testbed.register(ue, establish_session=False).success
+    attacker.full_chain()
+    container = container_testbed.paka.containers["eudm"]
+    memory = attacker.introspect_container(container.name)
+    assert memory  # plaintext secrets from the unshielded module

@@ -1,0 +1,97 @@
+"""Remote attestation: quotes, verification, spoofing resistance."""
+
+import pytest
+
+from repro.sgx.attestation import (
+    AttestationService,
+    Quote,
+    QuotingEnclave,
+    verify_quote,
+)
+from repro.sgx.enclave import Enclave
+from repro.sgx.errors import AttestationError
+
+from .conftest import small_build
+
+
+@pytest.fixture
+def service():
+    return AttestationService()
+
+
+@pytest.fixture
+def qe(service):
+    return QuotingEnclave("platform-0", service)
+
+
+def test_quote_and_verify(enclave, service, qe):
+    quote = qe.quote(enclave, report_data=b"kex-pubkey")
+    assert verify_quote(quote, service)
+
+
+def test_quote_binds_report_data(enclave, service, qe):
+    quote = qe.quote(enclave, report_data=b"original")
+    forged = Quote(
+        mrenclave=quote.mrenclave,
+        mrsigner=quote.mrsigner,
+        isv_prod_id=quote.isv_prod_id,
+        isv_svn=quote.isv_svn,
+        report_data=b"swapped",
+        platform_id=quote.platform_id,
+        debug=quote.debug,
+        signature=quote.signature,
+    )
+    with pytest.raises(AttestationError):
+        verify_quote(forged, service)
+
+
+def test_expected_mrenclave_enforced(enclave, service, qe):
+    quote = qe.quote(enclave)
+    assert verify_quote(quote, service, expected_mrenclave=quote.mrenclave)
+    with pytest.raises(AttestationError, match="MRENCLAVE"):
+        verify_quote(quote, service, expected_mrenclave=bytes(32))
+
+
+def test_expected_mrsigner_enforced(enclave, service, qe):
+    quote = qe.quote(enclave)
+    assert verify_quote(quote, service, expected_mrsigner=quote.mrsigner)
+    with pytest.raises(AttestationError, match="MRSIGNER"):
+        verify_quote(quote, service, expected_mrsigner=bytes(32))
+
+
+def test_unknown_platform_rejected(enclave, service, qe):
+    quote = qe.quote(enclave)
+    empty_service = AttestationService()
+    with pytest.raises(AttestationError, match="unknown platform"):
+        verify_quote(quote, empty_service)
+
+
+def test_forged_signature_rejected(enclave, service, qe):
+    quote = qe.quote(enclave)
+    forged = Quote(
+        mrenclave=quote.mrenclave,
+        mrsigner=quote.mrsigner,
+        isv_prod_id=quote.isv_prod_id,
+        isv_svn=quote.isv_svn,
+        report_data=quote.report_data,
+        platform_id=quote.platform_id,
+        debug=quote.debug,
+        signature=bytes(32),
+    )
+    with pytest.raises(AttestationError, match="signature"):
+        verify_quote(forged, service)
+
+
+def test_debug_enclaves_rejected_by_default(host, epc, service, qe):
+    debug_enclave = Enclave(host, small_build("dbg", debug=True), epc)
+    debug_enclave.load()
+    quote = qe.quote(debug_enclave)
+    with pytest.raises(AttestationError, match="debug"):
+        verify_quote(quote, service)
+    assert verify_quote(quote, service, allow_debug=True)
+
+
+def test_uninitialized_enclave_cannot_be_quoted(host, epc, service, qe):
+    enclave = Enclave(host, small_build("never-loaded"), epc)
+    with pytest.raises(AttestationError):
+        qe.quote(enclave)

@@ -1,0 +1,91 @@
+"""EPC manager: capacity, faulting, eviction, management overhead."""
+
+import pytest
+
+from repro.sgx.epc import PAGE_SIZE, EpcManager
+from repro.sgx.errors import EpcExhaustedError
+from repro.sgx.stats import SgxStats
+
+
+@pytest.fixture
+def manager(host):
+    # Small physical EPC so eviction is easy to trigger.
+    return EpcManager(64 * PAGE_SIZE, host.cpu, host.rng)
+
+
+def test_region_creation_and_pages(manager):
+    region = manager.create_region("e1", 32 * PAGE_SIZE)
+    assert region.total_pages == 32
+    assert region.resident_pages == 0
+    assert region.utilization == 0.0
+
+
+def test_duplicate_region_rejected(manager):
+    manager.create_region("e1", PAGE_SIZE)
+    with pytest.raises(ValueError):
+        manager.create_region("e1", PAGE_SIZE)
+
+
+def test_fault_in_accumulates(manager):
+    region = manager.create_region("e1", 32 * PAGE_SIZE)
+    stats = SgxStats()
+    manager.fault_in(region, 10, stats)
+    manager.fault_in(region, 5, stats)
+    assert region.resident_pages == 15
+    assert stats.page_faults == 15
+
+
+def test_fault_in_zero_is_noop(manager, host):
+    region = manager.create_region("e1", 32 * PAGE_SIZE)
+    t0 = host.clock.now_ns
+    manager.fault_in(region, 0)
+    assert host.clock.now_ns == t0
+
+
+def test_fault_beyond_region_size_raises(manager):
+    region = manager.create_region("e1", 4 * PAGE_SIZE)
+    with pytest.raises(EpcExhaustedError):
+        manager.fault_in(region, 5)
+
+
+def test_global_capacity_triggers_eviction(manager):
+    big = manager.create_region("big", 64 * PAGE_SIZE)
+    small = manager.create_region("small", 64 * PAGE_SIZE)
+    stats = SgxStats()
+    manager.fault_in(big, 60, stats)
+    manager.fault_in(small, 20, stats)  # 80 > 64: evicts 16 from 'big'
+    assert manager.resident_pages <= manager.capacity_pages
+    assert stats.page_evictions >= 16
+    assert big.resident_pages < 60
+
+
+def test_fault_in_charges_time(manager, host):
+    region = manager.create_region("e1", 32 * PAGE_SIZE)
+    t0 = host.clock.now_ns
+    manager.fault_in(region, 10)
+    assert host.clock.now_ns > t0
+
+
+def test_fault_in_without_time_charge(manager, host):
+    region = manager.create_region("e1", 32 * PAGE_SIZE)
+    t0 = host.clock.now_ns
+    manager.fault_in(region, 10, charge_time=False)
+    assert host.clock.now_ns == t0
+    assert region.resident_pages == 10
+
+
+def test_release_region_frees_pages(manager):
+    region = manager.create_region("e1", 32 * PAGE_SIZE)
+    manager.fault_in(region, 10)
+    manager.release_region("e1")
+    assert manager.resident_pages == 0
+
+
+def test_management_cycles_grow_with_residency(manager):
+    small = manager.create_region("small", 64 * PAGE_SIZE)
+    manager.fault_in(small, 2)
+    large = manager.create_region("large", 64 * PAGE_SIZE)
+    manager.fault_in(large, 60)
+    small_cost = sum(manager.management_cycles(small, "t") for _ in range(50)) / 50
+    large_cost = sum(manager.management_cycles(large, "t") for _ in range(50)) / 50
+    assert large_cost > small_cost

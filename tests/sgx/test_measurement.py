@@ -1,0 +1,94 @@
+"""MRENCLAVE hash-chain and SIGSTRUCT signing."""
+
+import pytest
+
+from repro.sgx.measurement import (
+    EnclaveMeasurement,
+    MeasurementBuilder,
+    sign_enclave,
+)
+
+
+def build_measurement(pages=((0, b"code"), (4096, b"data")), size=1 << 20):
+    builder = MeasurementBuilder()
+    builder.ecreate(size)
+    for offset, chunk in pages:
+        builder.eadd(offset, flags="rx")
+        builder.eextend(offset, chunk)
+    return builder.finalize()
+
+
+def test_measurement_is_deterministic():
+    assert build_measurement().mrenclave == build_measurement().mrenclave
+
+
+def test_content_changes_measurement():
+    a = build_measurement(pages=((0, b"code"),))
+    b = build_measurement(pages=((0, b"c0de"),))
+    assert a.mrenclave != b.mrenclave
+
+
+def test_placement_changes_measurement():
+    a = build_measurement(pages=((0, b"code"),))
+    b = build_measurement(pages=((4096, b"code"),))
+    assert a.mrenclave != b.mrenclave
+
+
+def test_order_changes_measurement():
+    a = build_measurement(pages=((0, b"one"), (4096, b"two")))
+    b = build_measurement(pages=((4096, b"two"), (0, b"one")))
+    assert a.mrenclave != b.mrenclave
+
+
+def test_size_changes_measurement():
+    assert build_measurement(size=1 << 20).mrenclave != build_measurement(size=1 << 21).mrenclave
+
+
+def test_finalize_is_idempotent():
+    builder = MeasurementBuilder()
+    builder.ecreate(4096)
+    first = builder.finalize()
+    assert builder.finalize().mrenclave == first.mrenclave
+
+
+def test_no_mutation_after_finalize():
+    builder = MeasurementBuilder()
+    builder.ecreate(4096)
+    builder.finalize()
+    with pytest.raises(RuntimeError):
+        builder.eadd(0, flags="rx")
+
+
+def test_measurement_must_be_32_bytes():
+    with pytest.raises(ValueError):
+        EnclaveMeasurement(mrenclave=b"short")
+
+
+class TestSigstruct:
+    KEY = b"vendor-key"
+
+    def test_sign_and_verify(self):
+        sig = sign_enclave(build_measurement(), self.KEY)
+        assert sig.verify(self.KEY)
+
+    def test_wrong_key_fails(self):
+        sig = sign_enclave(build_measurement(), self.KEY)
+        assert not sig.verify(b"other-key")
+
+    def test_mrsigner_is_key_hash(self):
+        import hashlib
+
+        sig = sign_enclave(build_measurement(), self.KEY)
+        assert sig.mrsigner == hashlib.sha256(self.KEY).digest()
+
+    def test_same_signer_different_enclaves_share_mrsigner(self):
+        a = sign_enclave(build_measurement(pages=((0, b"a"),)), self.KEY)
+        b = sign_enclave(build_measurement(pages=((0, b"b"),)), self.KEY)
+        assert a.mrsigner == b.mrsigner
+        assert a.mrenclave != b.mrenclave
+
+    def test_svn_is_bound_into_signature(self):
+        measurement = build_measurement()
+        v1 = sign_enclave(measurement, self.KEY, isv_svn=1)
+        v2 = sign_enclave(measurement, self.KEY, isv_svn=2)
+        assert v1.signature != v2.signature

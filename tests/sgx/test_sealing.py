@@ -1,0 +1,90 @@
+"""Secret sealing: identity binding and tamper resistance (KI 27)."""
+
+import pytest
+
+from repro.sgx.enclave import Enclave
+from repro.sgx.errors import SealingError
+from repro.sgx.sealing import SealedBlob, SealPolicy, seal, unseal
+
+from .conftest import SIGNING_KEY, small_build
+
+
+SECRET = b"tls-client-credentials-for-paka-module"
+
+
+def test_seal_unseal_roundtrip(enclave):
+    blob = seal(enclave, SECRET)
+    assert unseal(enclave, blob) == SECRET
+
+
+def test_sealed_blob_hides_secret(enclave):
+    blob = seal(enclave, SECRET)
+    assert SECRET not in blob.ciphertext
+
+
+def test_mrenclave_policy_rejects_other_enclave(host, epc, enclave):
+    other = Enclave(host, small_build("other"), epc)
+    other.load()
+    blob = seal(enclave, SECRET, policy=SealPolicy.MRENCLAVE)
+    with pytest.raises(SealingError):
+        unseal(other, blob)
+
+
+def test_mrsigner_policy_allows_same_vendor(host, epc, enclave):
+    upgraded = Enclave(host, small_build("upgraded-build"), epc)
+    upgraded.load()
+    # Same SIGNING_KEY in conftest → same MRSIGNER, different MRENCLAVE.
+    assert upgraded.measurement.mrenclave != enclave.measurement.mrenclave
+    blob = seal(enclave, SECRET, policy=SealPolicy.MRSIGNER)
+    assert unseal(upgraded, blob) == SECRET
+
+
+def test_mrsigner_policy_rejects_other_vendor(host, epc, enclave):
+    from repro.sgx.measurement import EnclaveMeasurement, sign_enclave
+    import hashlib
+
+    rogue_sig = sign_enclave(
+        EnclaveMeasurement(mrenclave=hashlib.sha256(b"rogue").digest()),
+        b"rogue-vendor-key",
+    )
+    rogue = Enclave(host, small_build("rogue", sigstruct=rogue_sig), epc)
+    rogue.load()
+    blob = seal(enclave, SECRET, policy=SealPolicy.MRSIGNER)
+    with pytest.raises(SealingError):
+        unseal(rogue, blob)
+
+
+def test_platform_binding(enclave):
+    blob = seal(enclave, SECRET, platform_id="platform-A")
+    with pytest.raises(SealingError):
+        unseal(enclave, blob, platform_id="platform-B")
+    assert unseal(enclave, blob, platform_id="platform-A") == SECRET
+
+
+def test_tampered_blob_rejected(enclave):
+    blob = seal(enclave, SECRET)
+    tampered = SealedBlob(
+        policy=blob.policy,
+        ciphertext=bytes([blob.ciphertext[0] ^ 1]) + blob.ciphertext[1:],
+        tag=blob.tag,
+    )
+    with pytest.raises(SealingError):
+        unseal(enclave, tampered)
+
+
+def test_sealing_requires_initialized_enclave(host, epc):
+    never_loaded = Enclave(host, small_build("never"), epc)
+    with pytest.raises(SealingError):
+        seal(never_loaded, SECRET)
+
+
+def test_mrsigner_policy_requires_signed_enclave(host, epc):
+    unsigned = Enclave(host, small_build("unsigned", sigstruct=None, debug=True), epc)
+    unsigned.load()
+    with pytest.raises(SealingError):
+        seal(unsigned, SECRET, policy=SealPolicy.MRSIGNER)
+
+
+def test_empty_secret_roundtrip(enclave):
+    blob = seal(enclave, b"")
+    assert unseal(enclave, blob) == b""

@@ -1,0 +1,43 @@
+"""SGX counter snapshots and deltas (the Table III methodology)."""
+
+from repro.sgx.stats import SgxStats
+
+
+def test_record_ocall_updates_both_counters():
+    stats = SgxStats()
+    stats.record_ocall("epoll_wait")
+    stats.record_ocall("epoll_wait")
+    stats.record_ocall("recvmsg")
+    assert stats.ocalls == 3
+    assert stats.ocalls_by_syscall == {"epoll_wait": 2, "recvmsg": 1}
+
+
+def test_snapshot_is_frozen_copy():
+    stats = SgxStats(eenters=5)
+    snap = stats.snapshot()
+    stats.eenters = 10
+    stats.record_ocall("read")
+    assert snap.eenters == 5
+    assert snap.ocalls == 0
+
+
+def test_delta_differences_counters():
+    stats = SgxStats()
+    stats.eenters, stats.eexits, stats.aexs = 100, 90, 1000
+    before = stats.snapshot()
+    stats.eenters += 87
+    stats.eexits += 87
+    stats.aexs += 3
+    stats.record_ocall("sendmsg")
+    delta = stats.delta(before)
+    assert delta.eenters == 87
+    assert delta.eexits == 87
+    assert delta.aexs == 3
+    assert delta.ocalls_by_syscall == {"sendmsg": 1}
+
+
+def test_delta_of_identical_snapshots_is_zero():
+    stats = SgxStats(eenters=7, bytes_copied_in=100)
+    delta = stats.delta(stats.snapshot())
+    assert delta.eenters == 0
+    assert delta.bytes_copied_in == 0

@@ -1,0 +1,73 @@
+"""Simulated clock semantics."""
+
+import pytest
+
+from repro.sim.clock import NS_PER_MS, NS_PER_US, SimClock, TimeSpan
+
+
+def test_starts_at_zero():
+    assert SimClock().now_ns == 0
+
+
+def test_advance_accumulates():
+    clock = SimClock()
+    clock.advance(10)
+    clock.advance(5)
+    assert clock.now_ns == 15
+
+
+def test_advance_rejects_negative():
+    with pytest.raises(ValueError):
+        SimClock().advance(-1)
+
+
+def test_advance_cycles_converts_through_frequency():
+    clock = SimClock()
+    clock.advance_cycles(2_400, 2.4e9)  # 2400 cycles at 2.4 GHz = 1 us
+    assert clock.now_ns == 1_000
+
+
+def test_advance_cycles_rejects_bad_frequency():
+    with pytest.raises(ValueError):
+        SimClock().advance_cycles(100, 0)
+
+
+def test_unit_helpers():
+    clock = SimClock()
+    clock.advance_us(1)
+    clock.advance_ms(1)
+    clock.advance_s(1)
+    assert clock.now_ns == 1_000 + 1_000_000 + 1_000_000_000
+
+
+def test_measure_captures_span():
+    clock = SimClock()
+    with clock.measure() as span:
+        clock.advance_us(7)
+    assert span.us == 7.0
+
+
+def test_nested_measurements():
+    clock = SimClock()
+    with clock.measure() as outer:
+        clock.advance_us(1)
+        with clock.measure() as inner:
+            clock.advance_us(2)
+        clock.advance_us(3)
+    assert inner.us == 2.0
+    assert outer.us == 6.0
+
+
+def test_span_unit_properties():
+    span = TimeSpan(start_ns=0, end_ns=90 * NS_PER_MS)
+    assert span.ms == 90.0
+    assert span.seconds == 0.09
+    assert span.minutes == pytest.approx(0.0015)
+
+
+def test_measure_span_closed_after_exit():
+    clock = SimClock()
+    with clock.measure() as span:
+        pass
+    clock.advance_us(100)
+    assert span.ns == 0  # span does not keep growing after the block

@@ -1,0 +1,55 @@
+"""Event log filtering and capacity behaviour."""
+
+from repro.sim.events import EventLog
+
+
+def test_emit_and_len():
+    log = EventLog()
+    log.emit(0, "sgx.eenter")
+    log.emit(1, "sgx.eexit")
+    assert len(log) == 2
+
+
+def test_detail_is_preserved():
+    log = EventLog()
+    event = log.emit(5, "net.frame", src="udm", nbytes=128)
+    assert event.detail == {"src": "udm", "nbytes": 128}
+    assert event.timestamp_ns == 5
+
+
+def test_select_by_prefix():
+    log = EventLog()
+    log.emit(0, "sgx.eenter")
+    log.emit(0, "sgx.ocall")
+    log.emit(0, "net.frame")
+    assert len(log.select("sgx")) == 2
+    assert log.count("net") == 1
+
+
+def test_select_prefix_is_dotted_not_substring():
+    log = EventLog()
+    log.emit(0, "sgxextra.thing")
+    log.emit(0, "sgx.thing")
+    assert log.count("sgx") == 1
+
+
+def test_exact_category_match():
+    log = EventLog()
+    log.emit(0, "attack.escape")
+    assert log.count("attack.escape") == 1
+
+
+def test_capacity_drops_oldest():
+    log = EventLog(capacity=10)
+    for i in range(25):
+        log.emit(i, "tick", i=i)
+    assert len(log) <= 10
+    # The newest events survive.
+    assert list(log)[-1].detail["i"] == 24
+
+
+def test_clear():
+    log = EventLog()
+    log.emit(0, "x")
+    log.clear()
+    assert len(log) == 0

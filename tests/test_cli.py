@@ -1,0 +1,53 @@
+"""CLI surface: argument handling and experiment dispatch."""
+
+import pytest
+
+from repro.cli import _EXPERIMENTS, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in _EXPERIMENTS:
+        assert name in out
+
+
+def test_register_monolithic(capsys):
+    assert main(["register", "--isolation", "monolithic", "--count", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "2/2 registrations succeeded" in out
+
+
+def test_register_sgx(capsys):
+    assert main(["register", "--isolation", "sgx", "--count", "1"]) == 0
+    assert "registered as 5g-guti" in capsys.readouterr().out
+
+
+def test_table1_experiment(capsys):
+    assert main(["table1"]) == 0
+    assert "E9/TableI" in capsys.readouterr().out
+
+
+def test_fig11_experiment(capsys):
+    assert main(["fig11"]) == 0
+    out = capsys.readouterr().out
+    assert "OTA" in out and "[OK ]" in out
+
+
+@pytest.mark.slow
+def test_setup_experiment_small(capsys):
+    assert main(["setup", "--registrations", "10"]) == 0
+    assert "sgx_share_percent" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["not-a-command"])
+
+
+def test_every_experiment_has_a_parser():
+    parser = build_parser()
+    for name in _EXPERIMENTS:
+        args = parser.parse_args([name])
+        assert args.command == name
+        assert args.registrations > 0
