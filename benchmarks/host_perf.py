@@ -1,0 +1,144 @@
+"""Host-performance harness: how fast the simulator itself runs.
+
+Everything in ``benchmarks/`` measures *simulated* time — the scientific
+output.  This script measures the *host* wall-clock cost of producing it,
+so crypto fast-path work (the T-table AES rewrite, per-key cipher caches)
+can be tracked with hard numbers:
+
+* one-shot AES blocks/s      — ``aes128_encrypt_block`` per call
+* keyed AES blocks/s         — ``AES128.encrypt_block`` on a held cipher
+* registrations/s            — stable-regime 5G-AKA registrations on a
+                               warmed SGX testbed (the simulator hot path)
+* suite wall-clock (opt-in)  — one full ``pytest benchmarks`` run
+
+Results land in ``BENCH_hostperf.json`` at the repo root; each invocation
+appends to the ``runs`` history so regressions are visible in the diff.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/host_perf.py [--suite] [--label TEXT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hostperf.json"
+
+BLOCK_BATCH = 20_000
+REGISTRATIONS = 20
+
+
+def measure_aes_blocks(batch: int = BLOCK_BATCH) -> dict:
+    """Blocks/s for the one-shot API and for a held keyed cipher."""
+    from repro.crypto.aes import AES128, aes128_encrypt_block
+
+    key = bytes(range(16))
+    block = bytes(range(16, 32))
+
+    start = time.perf_counter()
+    for _ in range(batch):
+        aes128_encrypt_block(key, block)
+    oneshot_s = time.perf_counter() - start
+
+    cipher = AES128(key)
+    encrypt = cipher.encrypt_block
+    start = time.perf_counter()
+    for _ in range(batch):
+        encrypt(block)
+    keyed_s = time.perf_counter() - start
+
+    return {
+        "block_batch": batch,
+        "oneshot_blocks_per_s": round(batch / oneshot_s, 1),
+        "keyed_blocks_per_s": round(batch / keyed_s, 1),
+    }
+
+
+def measure_registrations(registrations: int = REGISTRATIONS) -> dict:
+    """Wall-clock for stable-regime registrations on a warmed SGX testbed."""
+    from repro.experiments.harness import warmed_testbed
+    from repro.paka.deploy import IsolationMode
+
+    testbed = warmed_testbed(IsolationMode.SGX, seed=7)
+    start = time.perf_counter()
+    for _ in range(registrations):
+        ue = testbed.add_subscriber()
+        outcome = testbed.register(ue, establish_session=False)
+        if not outcome.success:
+            raise RuntimeError(f"registration failed: {outcome.failure_cause}")
+    wall_s = time.perf_counter() - start
+
+    return {
+        "registrations": registrations,
+        "wall_s": round(wall_s, 4),
+        "registrations_per_s": round(registrations / wall_s, 2),
+    }
+
+
+def measure_suite() -> dict:
+    """Wall-clock of one full benchmark-suite run (the expensive bit)."""
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "benchmarks", "-q", "-p", "no:cacheprovider"],
+        cwd=REPO_ROOT,
+        env={**__import__("os").environ, "PYTHONPATH": "src"},
+        capture_output=True,
+        text=True,
+    )
+    wall_s = time.perf_counter() - start
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"benchmark suite failed (exit {proc.returncode}):\n{proc.stdout[-2000:]}"
+        )
+    return {"suite_wall_s": round(wall_s, 2)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite",
+        action="store_true",
+        help="also time one full 'pytest benchmarks' run (minutes, not seconds)",
+    )
+    parser.add_argument(
+        "--label", default="", help="free-text tag stored with this run"
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help=f"results file (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    run = {
+        "label": args.label,
+        "python": platform.python_version(),
+        "aes": measure_aes_blocks(),
+        "registration": measure_registrations(),
+    }
+    if args.suite:
+        run.update(measure_suite())
+
+    if args.output.exists():
+        document = json.loads(args.output.read_text())
+    else:
+        document = {"description": "host wall-clock performance history", "runs": []}
+    document["runs"].append(run)
+    args.output.write_text(json.dumps(document, indent=2) + "\n")
+
+    print(json.dumps(run, indent=2))
+    print(f"recorded -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,36 +14,48 @@ from repro.experiments.ablations import (
 )
 
 
-def test_bench_ablation_preheat(benchmark, record_report):
+def test_bench_ablation_preheat(benchmark, record_report, campaign, jobs):
     report = benchmark.pedantic(
-        preheat_ablation, kwargs={"registrations": 40}, rounds=1, iterations=1
+        preheat_ablation,
+        kwargs={"registrations": campaign(40, quick_size=20), "jobs": jobs},
+        rounds=1,
+        iterations=1,
     )
     record_report(report)
     print()
     print(report.format())
 
 
-def test_bench_ablation_exitless(benchmark, record_report):
+def test_bench_ablation_exitless(benchmark, record_report, campaign, jobs):
     report = benchmark.pedantic(
-        exitless_ablation, kwargs={"registrations": 80}, rounds=1, iterations=1
+        exitless_ablation,
+        kwargs={"registrations": campaign(80, quick_size=40), "jobs": jobs},
+        rounds=1,
+        iterations=1,
     )
     record_report(report)
     print()
     print(report.format())
 
 
-def test_bench_ablation_hmee_backends(benchmark, record_report):
+def test_bench_ablation_hmee_backends(benchmark, record_report, campaign, jobs):
     report = benchmark.pedantic(
-        hmee_backend_comparison, kwargs={"registrations": 80}, rounds=1, iterations=1
+        hmee_backend_comparison,
+        kwargs={"registrations": campaign(80, quick_size=30), "jobs": jobs},
+        rounds=1,
+        iterations=1,
     )
     record_report(report)
     print()
     print(report.format())
 
 
-def test_bench_ablation_userlevel_tcp(benchmark, record_report):
+def test_bench_ablation_userlevel_tcp(benchmark, record_report, campaign):
     report = benchmark.pedantic(
-        userlevel_tcp_ablation, kwargs={"requests": 150}, rounds=1, iterations=1
+        userlevel_tcp_ablation,
+        kwargs={"requests": campaign(150, quick_size=60)},
+        rounds=1,
+        iterations=1,
     )
     record_report(report)
     print()

@@ -10,10 +10,10 @@ from repro.experiments.figures import figure10_response_time
 REGISTRATIONS = 250  # paper: 500
 
 
-def test_bench_fig10_response_time(benchmark, record_report):
+def test_bench_fig10_response_time(benchmark, record_report, campaign, jobs):
     report = benchmark.pedantic(
         figure10_response_time,
-        kwargs={"registrations": REGISTRATIONS},
+        kwargs={"registrations": campaign(REGISTRATIONS, quick_size=40), "jobs": jobs},
         rounds=1,
         iterations=1,
     )

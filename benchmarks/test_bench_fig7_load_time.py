@@ -9,10 +9,10 @@ from repro.experiments.figures import figure7_enclave_load_time
 ITERATIONS = 60  # paper: 500; the distribution stabilises far earlier
 
 
-def test_bench_fig7_enclave_load_time(benchmark, record_report):
+def test_bench_fig7_enclave_load_time(benchmark, record_report, campaign):
     report = benchmark.pedantic(
         figure7_enclave_load_time,
-        kwargs={"iterations": ITERATIONS},
+        kwargs={"iterations": campaign(ITERATIONS, quick_size=15)},
         rounds=1,
         iterations=1,
     )

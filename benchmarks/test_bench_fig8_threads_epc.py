@@ -10,10 +10,10 @@ from repro.experiments.sweeps import figure8_threads_epc_sweep, undersized_epc_e
 REGISTRATIONS = 150
 
 
-def test_bench_fig8_threads_and_epc(benchmark, record_report):
+def test_bench_fig8_threads_and_epc(benchmark, record_report, campaign, jobs):
     report = benchmark.pedantic(
         figure8_threads_epc_sweep,
-        kwargs={"registrations": REGISTRATIONS},
+        kwargs={"registrations": campaign(REGISTRATIONS, quick_size=60), "jobs": jobs},
         rounds=1,
         iterations=1,
     )
@@ -22,11 +22,11 @@ def test_bench_fig8_threads_and_epc(benchmark, record_report):
     print(report.format())
 
 
-def test_bench_fig8_undersized_epc(benchmark, record_report):
+def test_bench_fig8_undersized_epc(benchmark, record_report, campaign):
     """The below-512M 'inconsistent behaviour' regime (ablation)."""
     report = benchmark.pedantic(
         undersized_epc_experiment,
-        kwargs={"registrations": 80},
+        kwargs={"registrations": campaign(80, quick_size=40)},
         rounds=1,
         iterations=1,
     )

@@ -9,10 +9,10 @@ from repro.experiments.figures import figure9_functional_total_latency
 REGISTRATIONS = 250  # paper: 500
 
 
-def test_bench_fig9_functional_and_total_latency(benchmark, record_report):
+def test_bench_fig9_functional_and_total_latency(benchmark, record_report, campaign, jobs):
     report = benchmark.pedantic(
         figure9_functional_total_latency,
-        kwargs={"registrations": REGISTRATIONS},
+        kwargs={"registrations": campaign(REGISTRATIONS, quick_size=40), "jobs": jobs},
         rounds=1,
         iterations=1,
     )

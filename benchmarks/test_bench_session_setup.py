@@ -10,10 +10,10 @@ from repro.experiments.session_setup import session_setup_experiment
 REGISTRATIONS = 80
 
 
-def test_bench_session_setup(benchmark, record_report):
+def test_bench_session_setup(benchmark, record_report, campaign):
     report = benchmark.pedantic(
         session_setup_experiment,
-        kwargs={"registrations": REGISTRATIONS},
+        kwargs={"registrations": campaign(REGISTRATIONS, quick_size=30)},
         rounds=1,
         iterations=1,
     )

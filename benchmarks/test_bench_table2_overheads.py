@@ -10,10 +10,10 @@ from repro.experiments.tables import table2_overheads
 REGISTRATIONS = 150
 
 
-def test_bench_table2_sgx_overheads(benchmark, record_report):
+def test_bench_table2_sgx_overheads(benchmark, record_report, campaign):
     report = benchmark.pedantic(
         table2_overheads,
-        kwargs={"registrations": REGISTRATIONS},
+        kwargs={"registrations": campaign(REGISTRATIONS, quick_size=40)},
         rounds=1,
         iterations=1,
     )

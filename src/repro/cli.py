@@ -42,6 +42,7 @@ _EXPERIMENTS: Dict[str, str] = {
 
 def _run_experiment(name: str, args: argparse.Namespace) -> ExperimentReport:
     n = args.registrations
+    jobs = getattr(args, "jobs", 1)
     if name == "fig7":
         from repro.experiments.figures import figure7_enclave_load_time
 
@@ -49,15 +50,15 @@ def _run_experiment(name: str, args: argparse.Namespace) -> ExperimentReport:
     if name == "fig8":
         from repro.experiments.sweeps import figure8_threads_epc_sweep
 
-        return figure8_threads_epc_sweep(registrations=n)
+        return figure8_threads_epc_sweep(registrations=n, jobs=jobs)
     if name == "fig9":
         from repro.experiments.figures import figure9_functional_total_latency
 
-        return figure9_functional_total_latency(registrations=n)
+        return figure9_functional_total_latency(registrations=n, jobs=jobs)
     if name == "fig10":
         from repro.experiments.figures import figure10_response_time
 
-        return figure10_response_time(registrations=n)
+        return figure10_response_time(registrations=n, jobs=jobs)
     if name == "fig11":
         from repro.experiments.figures import figure11_ota_feasibility
 
@@ -85,15 +86,15 @@ def _run_experiment(name: str, args: argparse.Namespace) -> ExperimentReport:
     if name == "ablation-preheat":
         from repro.experiments.ablations import preheat_ablation
 
-        return preheat_ablation(registrations=n)
+        return preheat_ablation(registrations=n, jobs=jobs)
     if name == "ablation-exitless":
         from repro.experiments.ablations import exitless_ablation
 
-        return exitless_ablation(registrations=n)
+        return exitless_ablation(registrations=n, jobs=jobs)
     if name == "ablation-backends":
         from repro.experiments.ablations import hmee_backend_comparison
 
-        return hmee_backend_comparison(registrations=n)
+        return hmee_backend_comparison(registrations=n, jobs=jobs)
     if name == "ablation-mtcp":
         from repro.experiments.ablations import userlevel_tcp_ablation
 
@@ -182,6 +183,12 @@ def build_parser() -> argparse.ArgumentParser:
         experiment.add_argument(
             "--plot", action="store_true",
             help="render the measured distributions as ASCII box plots",
+        )
+        experiment.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="run independent experiment arms over N worker processes "
+            "(0 = one per CPU); results are byte-identical to --jobs 1 "
+            "because every arm owns its own seeded testbed",
         )
     return parser
 

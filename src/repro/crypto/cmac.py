@@ -8,7 +8,9 @@ the Security Mode procedure after K_AMF is derived.
 
 from __future__ import annotations
 
-from repro.crypto.aes import aes128_encrypt_block
+from functools import lru_cache
+
+from repro.crypto.aes import aes128_cipher
 
 _BLOCK = 16
 _RB = 0x87
@@ -19,8 +21,11 @@ def _left_shift_one(block: bytes) -> "tuple[bytes, bool]":
     return (value & ((1 << 128) - 1)).to_bytes(16, "big"), bool(value >> 128)
 
 
+@lru_cache(maxsize=4096)
 def _generate_subkeys(key: bytes) -> "tuple[bytes, bytes]":
-    l = aes128_encrypt_block(key, bytes(16))
+    """RFC 4493 K1/K2, cached per key — NAS integrity reuses K_NAS_int for
+    every message of a registration, so the subkeys are derived once."""
+    l = aes128_cipher(key).encrypt_block(bytes(16))
     k1, carry = _left_shift_one(l)
     if carry:
         k1 = k1[:-1] + bytes([k1[-1] ^ _RB])
@@ -34,7 +39,8 @@ def aes_cmac(key: bytes, message: bytes) -> bytes:
     """Full 16-byte AES-CMAC tag."""
     if len(key) != 16:
         raise ValueError(f"CMAC key must be 16 bytes, got {len(key)}")
-    k1, k2 = _generate_subkeys(key)
+    k1, k2 = _generate_subkeys(bytes(key))
+    encrypt = aes128_cipher(bytes(key)).encrypt_block
     n_blocks = max(1, (len(message) + _BLOCK - 1) // _BLOCK)
     complete_last = len(message) > 0 and len(message) % _BLOCK == 0
 
@@ -48,8 +54,8 @@ def aes_cmac(key: bytes, message: bytes) -> bytes:
     x = bytes(16)
     for i in range(n_blocks - 1):
         block = message[i * _BLOCK : (i + 1) * _BLOCK]
-        x = aes128_encrypt_block(key, bytes(a ^ b for a, b in zip(x, block)))
-    return aes128_encrypt_block(key, bytes(a ^ b for a, b in zip(x, last)))
+        x = encrypt(bytes(a ^ b for a, b in zip(x, block)))
+    return encrypt(bytes(a ^ b for a, b in zip(x, last)))
 
 
 def nia2_mac(

@@ -18,8 +18,9 @@ operator constant OPc.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
-from repro.crypto.aes import aes128_encrypt_block
+from repro.crypto.aes import aes128_cipher, aes128_encrypt_block
 
 # TS 35.206 §4.1 default constants: rotation amounts (bits) and additive
 # constants c1..c5 (only the low bits differ between them).
@@ -48,8 +49,14 @@ def _rotate_left(block: bytes, bits: int) -> bytes:
     return block[shift:] + block[:shift]
 
 
+@lru_cache(maxsize=4096)
 def compute_opc(k: bytes, op: bytes) -> bytes:
-    """Derive the subscriber-specific operator constant OPc = OP ⊕ E_K(OP)."""
+    """Derive the subscriber-specific operator constant OPc = OP ⊕ E_K(OP).
+
+    Cached per (K, OP): provisioning re-derives OPc for the same USIM on
+    every authentication-vector request, so memoising keeps the hot path
+    to the six MILENAGE block encryptions themselves.
+    """
     return _xor(aes128_encrypt_block(k, op), op)
 
 
@@ -83,6 +90,9 @@ class Milenage:
             raise ValueError(f"OPc must be 16 bytes, got {len(opc)}")
         self.k = k
         self.opc = opc
+        # One key schedule per subscriber key, shared process-wide: every
+        # f-function evaluation is 2-6 block encryptions under the same K.
+        self._cipher = aes128_cipher(k)
 
     @classmethod
     def from_op(cls, k: bytes, op: bytes) -> "Milenage":
@@ -92,7 +102,7 @@ class Milenage:
     def _temp(self, rand: bytes) -> bytes:
         if len(rand) != 16:
             raise ValueError(f"RAND must be 16 bytes, got {len(rand)}")
-        return aes128_encrypt_block(self.k, _xor(rand, self.opc))
+        return self._cipher.encrypt_block(_xor(rand, self.opc))
 
     def f1(self, rand: bytes, sqn: bytes, amf: bytes) -> "tuple[bytes, bytes]":
         """f1 / f1*: returns (MAC-A, MAC-S) for the given SQN and AMF field.
@@ -107,7 +117,7 @@ class Milenage:
         temp = self._temp(rand)
         in1 = sqn + amf + sqn + amf
         inner = _xor(temp, _rotate_left(_xor(in1, self.opc), _R1))
-        out1 = _xor(aes128_encrypt_block(self.k, _xor(inner, _C1)), self.opc)
+        out1 = _xor(self._cipher.encrypt_block(_xor(inner, _C1)), self.opc)
         return out1[:8], out1[8:]
 
     def f2345(self, rand: bytes) -> MilenageVector:
@@ -115,18 +125,11 @@ class Milenage:
         temp = self._temp(rand)
         base = _xor(temp, self.opc)
 
-        out2 = _xor(
-            aes128_encrypt_block(self.k, _xor(_rotate_left(base, _R2), _C2)), self.opc
-        )
-        out3 = _xor(
-            aes128_encrypt_block(self.k, _xor(_rotate_left(base, _R3), _C3)), self.opc
-        )
-        out4 = _xor(
-            aes128_encrypt_block(self.k, _xor(_rotate_left(base, _R4), _C4)), self.opc
-        )
-        out5 = _xor(
-            aes128_encrypt_block(self.k, _xor(_rotate_left(base, _R5), _C5)), self.opc
-        )
+        encrypt = self._cipher.encrypt_block
+        out2 = _xor(encrypt(_xor(_rotate_left(base, _R2), _C2)), self.opc)
+        out3 = _xor(encrypt(_xor(_rotate_left(base, _R3), _C3)), self.opc)
+        out4 = _xor(encrypt(_xor(_rotate_left(base, _R4), _C4)), self.opc)
+        out5 = _xor(encrypt(_xor(_rotate_left(base, _R5), _C5)), self.opc)
         return MilenageVector(
             rand=rand,
             mac_a=b"",

@@ -12,7 +12,7 @@ and the NAS keys are in place.
 
 from __future__ import annotations
 
-from repro.crypto.aes import aes128_ctr
+from repro.crypto.aes import aes128_cipher
 
 
 def _initial_counter_block(count: int, bearer: int, direction: int) -> bytes:
@@ -35,7 +35,9 @@ def nea2_encrypt(
     if len(k_nas_enc) != 16:
         raise ValueError(f"NEA2 key must be 16 bytes, got {len(k_nas_enc)}")
     icb = _initial_counter_block(count, bearer, direction)
-    return aes128_ctr(k_nas_enc, icb, plaintext)
+    # K_NAS_enc is fixed for the lifetime of the NAS security context, so
+    # the shared cipher cache expands it once for the whole session.
+    return aes128_cipher(bytes(k_nas_enc)).ctr(icb, plaintext)
 
 
 # CTR is an involution under the same parameters.

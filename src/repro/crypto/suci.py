@@ -17,7 +17,7 @@ import hmac
 from dataclasses import dataclass
 from typing import Tuple
 
-from repro.crypto.aes import aes128_ctr
+from repro.crypto.aes import AES128
 
 _P = 2**255 - 19
 _A24 = 121665
@@ -172,7 +172,9 @@ class EciesProfileA:
         shared = x25519(eph_private_key, hn_public_key)
         keys = _x963_kdf(shared, eph_public, EciesProfileA.KDF_LENGTH)
         aes_key, icb, mac_key = keys[:16], keys[16:32], keys[32:]
-        ciphertext = aes128_ctr(aes_key, icb, plaintext)
+        # The ECIES key is ephemeral (one per concealment): instantiate the
+        # cipher directly rather than through the shared per-key cache.
+        ciphertext = AES128(aes_key).ctr(icb, plaintext)
         tag = hmac.new(mac_key, ciphertext, hashlib.sha256).digest()[
             : EciesProfileA.TAG_LENGTH
         ]
@@ -193,7 +195,7 @@ class EciesProfileA:
         ]
         if not hmac.compare_digest(tag, expected):
             raise ValueError("SUCI MAC verification failed")
-        return aes128_ctr(aes_key, icb, ciphertext)
+        return AES128(aes_key).ctr(icb, ciphertext)
 
 
 def conceal_supi(

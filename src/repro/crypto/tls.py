@@ -52,7 +52,12 @@ class TlsSession:
     TAG_LENGTH = 16
 
     def _record_keys(self, seq: int) -> "tuple[bytes, bytes, bytes]":
-        """Derive per-record key material (key, counter block, MAC key)."""
+        """Derive per-record key material (key, counter block, MAC key).
+
+        The peer session derives the identical key for the same sequence
+        number, so the receiver's ``unprotect`` reuses the AES schedule the
+        sender's ``protect`` already expanded (shared per-key cache).
+        """
         block = hashlib.sha256(self.master_secret + seq.to_bytes(8, "big")).digest()
         mac_key = hashlib.sha256(b"mac" + block).digest()
         return block[:16], block[16:], mac_key

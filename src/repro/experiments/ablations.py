@@ -9,7 +9,7 @@ turns one of those knobs and measures both sides of the tradeoff.
 from __future__ import annotations
 
 from statistics import mean
-from typing import Dict
+from typing import Dict, List, Optional
 
 from repro.container.engine import ContainerEngine
 from repro.experiments.harness import (
@@ -20,6 +20,7 @@ from repro.experiments.harness import (
     collect_module_latencies,
     warmed_testbed,
 )
+from repro.experiments.parallel import Arm, run_arms
 from repro.experiments.stats import summarize
 from repro.hw.host import paper_testbed_host
 from repro.net.http import HttpClient, ServerSyscallProfile
@@ -27,7 +28,58 @@ from repro.paka.deploy import IsolationMode, PakaDeployment
 from repro.runtime.native import NativeRuntime
 
 
-def preheat_ablation(registrations: int = 40, seed: int = 120) -> ExperimentReport:
+def _collect_preheat_arm(
+    preheat: bool, registrations: int, seed: int
+) -> "Dict[str, object]":
+    """One preheat-ablation arm: eUDM load time and response-time series."""
+    testbed = build_testbed(IsolationMode.SGX, seed=seed, preheat=preheat)
+    load_s = testbed.paka.load_spans["eudm"].seconds
+    data = collect_module_latencies(testbed, registrations, skip=0)["eudm"]
+    return {"load_s": load_s, "r_us": data["r_us"]}
+
+
+def _collect_exitless_arm(
+    exitless: bool, registrations: int, seed: int
+) -> "Dict[str, object]":
+    """One exitless-ablation arm: eUDM L_T series and transition deltas."""
+    testbed = warmed_testbed(IsolationMode.SGX, seed=seed, exitless=exitless)
+    before = testbed.paka.enclaves["eudm"].stats.snapshot()
+    data = collect_module_latencies(testbed, registrations, skip=1)["eudm"]
+    delta = testbed.paka.enclaves["eudm"].stats.delta(before)
+    return {
+        "lt_us": data["lt_us"],
+        "eenters": float(delta.eenters),
+        "ocalls": float(delta.ocalls),
+    }
+
+
+def _collect_backend_arm(
+    isolation_value: str, registrations: int, seed: int
+) -> "Dict[str, object]":
+    """One HMEE-backend arm: latency series, deploy time and the
+    guest-kernel TCB attack outcome."""
+    from repro.security.attacks import GuestKernelExploitAttack
+    from repro.security.threat import Attacker
+
+    testbed = warmed_testbed(IsolationMode(isolation_value), seed=seed)
+    data = collect_module_latencies(testbed, registrations, skip=1)["eudm"]
+    deploy_s: Optional[float] = None
+    if testbed.paka.load_spans:
+        deploy_s = max(span.seconds for span in testbed.paka.load_spans.values())
+    attacker = Attacker("mallory", host=testbed.host, engine=testbed.engine)
+    if not attacker.full_chain():  # pragma: no cover - p ≈ 0.001
+        raise RuntimeError("attacker chain failed")
+    result = GuestKernelExploitAttack().run(attacker, testbed)
+    return {
+        "lt_us": data["lt_us"],
+        "deploy_s": deploy_s,
+        "kernel_exploit": bool(result.succeeded),
+    }
+
+
+def preheat_ablation(
+    registrations: int = 40, seed: int = 120, jobs: int = 1
+) -> ExperimentReport:
     """Preheat on vs off: load-time cost vs first-request cost.
 
     The paper enables ``sgx.preheat_enclave`` because it "shifts the cost
@@ -38,20 +90,34 @@ def preheat_ablation(registrations: int = 40, seed: int = 120) -> ExperimentRepo
     report = ExperimentReport(
         experiment_id="A1/preheat", title="Preheat ablation: load vs first request"
     )
+    arm_data = run_arms(
+        [
+            Arm(
+                key="preheat" if preheat else "no-preheat",
+                fn=_collect_preheat_arm,
+                kwargs={
+                    "preheat": preheat,
+                    "registrations": registrations,
+                    "seed": seed,
+                },
+            )
+            for preheat in (True, False)
+        ],
+        jobs=jobs,
+    )
     results: Dict[bool, Dict[str, float]] = {}
     for preheat in (True, False):
-        testbed = build_testbed(IsolationMode.SGX, seed=seed, preheat=preheat)
-        load_s = testbed.paka.load_spans["eudm"].seconds
-        data = collect_module_latencies(testbed, registrations, skip=0)["eudm"]
+        label = "preheat" if preheat else "no-preheat"
+        load_s = arm_data[label]["load_s"]
+        r_us: List[float] = arm_data[label]["r_us"]
         results[preheat] = {
             "load_s": load_s,
-            "r_initial_us": data["r_us"][0],
-            "r_stable_us": mean(data["r_us"][3:]),
+            "r_initial_us": r_us[0],
+            "r_stable_us": mean(r_us[3:]),
         }
-        label = "preheat" if preheat else "no-preheat"
         report.derived[f"{label}_load_s"] = load_s
-        report.derived[f"{label}_r_initial_ms"] = data["r_us"][0] / 1000.0
-        report.series[f"{label}/R"] = summarize(f"{label} R", data["r_us"][3:], "us")
+        report.derived[f"{label}_r_initial_ms"] = r_us[0] / 1000.0
+        report.series[f"{label}/R"] = summarize(f"{label} R", r_us[3:], "us")
 
     load_saving = results[True]["load_s"] - results[False]["load_s"]
     first_request_penalty = (
@@ -81,7 +147,9 @@ def preheat_ablation(registrations: int = 40, seed: int = 120) -> ExperimentRepo
     return report
 
 
-def exitless_ablation(registrations: int = 60, seed: int = 121) -> ExperimentReport:
+def exitless_ablation(
+    registrations: int = 60, seed: int = 121, jobs: int = 1
+) -> ExperimentReport:
     """Gramine's exitless mode: fewer transitions, faster OCALL path.
 
     The paper notes exitless "offloads OCALL execution to an untrusted
@@ -91,17 +159,27 @@ def exitless_ablation(registrations: int = 60, seed: int = 121) -> ExperimentRep
     report = ExperimentReport(
         experiment_id="A2/exitless", title="Exitless ablation: transitions vs latency"
     )
-    data = {}
+    arm_data = run_arms(
+        [
+            Arm(
+                key="exitless" if exitless else "transitioning",
+                fn=_collect_exitless_arm,
+                kwargs={
+                    "exitless": exitless,
+                    "registrations": registrations,
+                    "seed": seed,
+                },
+            )
+            for exitless in (False, True)
+        ],
+        jobs=jobs,
+    )
     for exitless in (False, True):
-        testbed = warmed_testbed(IsolationMode.SGX, seed=seed, exitless=exitless)
-        before = testbed.paka.enclaves["eudm"].stats.snapshot()
-        data[exitless] = collect_module_latencies(testbed, registrations, skip=1)["eudm"]
-        delta = testbed.paka.enclaves["eudm"].stats.delta(before)
         label = "exitless" if exitless else "transitioning"
-        report.derived[f"{label}_eenters"] = float(delta.eenters)
-        report.derived[f"{label}_ocalls"] = float(delta.ocalls)
+        report.derived[f"{label}_eenters"] = arm_data[label]["eenters"]
+        report.derived[f"{label}_ocalls"] = arm_data[label]["ocalls"]
         report.series[f"{label}/LT"] = summarize(
-            f"{label} L_T", data[exitless]["lt_us"], "us"
+            f"{label} L_T", arm_data[label]["lt_us"], "us"
         )
 
     speedup = report.series["transitioning/LT"].mean / report.series["exitless/LT"].mean
@@ -130,46 +208,55 @@ def exitless_ablation(registrations: int = 60, seed: int = 121) -> ExperimentRep
     return report
 
 
-def hmee_backend_comparison(registrations: int = 60, seed: int = 122) -> ExperimentReport:
+def hmee_backend_comparison(
+    registrations: int = 60, seed: int = 122, jobs: int = 1
+) -> ExperimentReport:
     """SGX vs secure VM (SEV/TDX) vs plain container — §IV-C's tradeoff.
 
     Measures deployment time and stable latency per backend and executes
-    the guest-kernel TCB attack against each.
+    the guest-kernel TCB attack against each.  Backends are independent
+    testbeds, so ``jobs > 1`` measures them in parallel.
     """
-    from repro.security.attacks import GuestKernelExploitAttack
-    from repro.security.threat import Attacker
-
     report = ExperimentReport(
         experiment_id="A3/hmee-backends",
         title="HMEE backend comparison: container vs SGX vs secure VM",
     )
-    lt_means: Dict[str, float] = {}
-    for isolation in (
+    backends = (
         IsolationMode.CONTAINER,
         IsolationMode.SECURE_VM,
         IsolationMode.SGX,
-    ):
-        testbed = warmed_testbed(isolation, seed=seed)
-        data = collect_module_latencies(testbed, registrations, skip=1)["eudm"]
+    )
+    arm_data = run_arms(
+        [
+            Arm(
+                key=isolation.value,
+                fn=_collect_backend_arm,
+                kwargs={
+                    "isolation_value": isolation.value,
+                    "registrations": registrations,
+                    "seed": seed,
+                },
+            )
+            for isolation in backends
+        ],
+        jobs=jobs,
+    )
+    lt_means: Dict[str, float] = {}
+    for isolation in backends:
         label = isolation.value
+        data = arm_data[label]
         report.series[f"{label}/LT"] = summarize(f"{label} L_T", data["lt_us"], "us")
         lt_means[label] = report.series[f"{label}/LT"].mean
-        if testbed.paka.load_spans:
-            report.derived[f"{label}_deploy_s"] = max(
-                span.seconds for span in testbed.paka.load_spans.values()
-            )
-        attacker = Attacker("mallory", host=testbed.host, engine=testbed.engine)
-        if not attacker.full_chain():  # pragma: no cover - p ≈ 0.001
-            raise RuntimeError("attacker chain failed")
-        result = GuestKernelExploitAttack().run(attacker, testbed)
+        if data["deploy_s"] is not None:
+            report.derived[f"{label}_deploy_s"] = data["deploy_s"]
         report.rows.append(
             {
                 "backend": label,
                 "stable_LT_us": round(lt_means[label], 1),
-                "kernel_exploit_steals_keys": result.succeeded,
+                "kernel_exploit_steals_keys": data["kernel_exploit"],
             }
         )
-        report.derived[f"{label}_kernel_exploit"] = float(result.succeeded)
+        report.derived[f"{label}_kernel_exploit"] = float(data["kernel_exploit"])
 
     report.checks.append(
         BandCheck(

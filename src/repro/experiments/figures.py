@@ -13,6 +13,7 @@ from repro.experiments.harness import (
     collect_module_latencies,
     warmed_testbed,
 )
+from repro.experiments.parallel import Arm, run_arms
 from repro.experiments.stats import outlier_fraction, summarize
 from repro.hw.host import paper_testbed_host
 from repro.paka.deploy import IsolationMode, PakaDeployment
@@ -74,25 +75,62 @@ def figure7_enclave_load_time(iterations: int = 30, seed: int = 70) -> Experimen
     return report
 
 
+def _collect_warmed_arm(
+    isolation_value: str, registrations: int, seed: int
+) -> Dict[str, Dict[str, List[float]]]:
+    """One Fig 9-style arm: warmed testbed, per-module latency series.
+
+    Module-level (and returning plain lists) so the parallel runner can
+    ship it to a worker process.
+    """
+    testbed = warmed_testbed(IsolationMode(isolation_value), seed=seed)
+    return collect_module_latencies(testbed, registrations, skip=1)
+
+
+def _collect_cold_arm(
+    isolation_value: str, registrations: int, seed: int
+) -> Dict[str, Dict[str, List[float]]]:
+    """One Fig 10-style arm: cold testbed (keeps the warmup burst that
+    R_initial measures), per-module latency series."""
+    testbed = build_testbed(IsolationMode(isolation_value), seed=seed)
+    return collect_module_latencies(testbed, registrations, skip=0)
+
+
 def figure9_functional_total_latency(
-    registrations: int = 120, seed: int = 90
+    registrations: int = 120, seed: int = 90, jobs: int = 1
 ) -> ExperimentReport:
-    """Fig 9 (+ Table II L_F/L_T rows): container vs SGX module latencies."""
+    """Fig 9 (+ Table II L_F/L_T rows): container vs SGX module latencies.
+
+    The two isolation arms are independent seeded testbeds; ``jobs > 1``
+    collects them in parallel with byte-identical results.
+    """
     report = ExperimentReport(
         experiment_id="E3/Fig9",
         title="Functional (L_F) and total (L_T) latency, container vs SGX",
     )
-    data = {}
+    data = run_arms(
+        [
+            Arm(
+                key=isolation.value,
+                fn=_collect_warmed_arm,
+                kwargs={
+                    "isolation_value": isolation.value,
+                    "registrations": registrations,
+                    "seed": seed,
+                },
+            )
+            for isolation in (IsolationMode.CONTAINER, IsolationMode.SGX)
+        ],
+        jobs=jobs,
+    )
     for isolation in (IsolationMode.CONTAINER, IsolationMode.SGX):
-        testbed = warmed_testbed(isolation, seed=seed)
-        data[isolation] = collect_module_latencies(testbed, registrations, skip=1)
         label = isolation.value
         for name in MODULE_NAMES:
             report.series[f"{label}/{name}/LF"] = summarize(
-                f"{label} {name} L_F", data[isolation][name]["lf_us"], "us"
+                f"{label} {name} L_F", data[label][name]["lf_us"], "us"
             )
             report.series[f"{label}/{name}/LT"] = summarize(
-                f"{label} {name} L_T", data[isolation][name]["lt_us"], "us"
+                f"{label} {name} L_T", data[label][name]["lt_us"], "us"
             )
 
     for name in MODULE_NAMES:
@@ -125,26 +163,43 @@ def figure9_functional_total_latency(
     )
     for name in MODULE_NAMES:
         report.derived[f"{name}_outlier_fraction"] = outlier_fraction(
-            data[IsolationMode.SGX][name]["lt_us"]
+            data[IsolationMode.SGX.value][name]["lt_us"]
         )
     return report
 
 
 def figure10_response_time(
-    registrations: int = 120, seed: int = 100
+    registrations: int = 120, seed: int = 100, jobs: int = 1
 ) -> ExperimentReport:
-    """Fig 10 (+ Table II R rows): stable and initial response times."""
+    """Fig 10 (+ Table II R rows): stable and initial response times.
+
+    Arms are NOT warmed: the very first module request carries the warmup
+    burst, which is exactly what R_initial measures.  ``jobs > 1`` runs
+    the container and SGX arms in parallel, byte-identically.
+    """
     report = ExperimentReport(
         experiment_id="E4/Fig10",
         title="Response time of the P-AKA modules (stable and initial)",
     )
     stable_means: Dict[str, Dict[str, float]] = {}
     initial: Dict[str, float] = {}
+    arm_data = run_arms(
+        [
+            Arm(
+                key=isolation.value,
+                fn=_collect_cold_arm,
+                kwargs={
+                    "isolation_value": isolation.value,
+                    "registrations": registrations,
+                    "seed": seed,
+                },
+            )
+            for isolation in (IsolationMode.CONTAINER, IsolationMode.SGX)
+        ],
+        jobs=jobs,
+    )
     for isolation in (IsolationMode.CONTAINER, IsolationMode.SGX):
-        # NOT warmed: the very first module request carries the warmup
-        # burst, which is exactly what R_initial measures.
-        testbed = build_testbed(isolation, seed=seed)
-        data = collect_module_latencies(testbed, registrations, skip=0)
+        data = arm_data[isolation.value]
         label = isolation.value
         stable_means[label] = {}
         for name in MODULE_NAMES:

@@ -10,6 +10,7 @@ from repro.experiments.harness import (
     collect_module_latencies,
     warmed_testbed,
 )
+from repro.experiments.parallel import Arm, run_arms
 from repro.experiments.stats import summarize
 from repro.paka.deploy import IsolationMode
 
@@ -17,15 +18,39 @@ from repro.paka.deploy import IsolationMode
 SWEEP_POINTS: Tuple[Tuple[int, str], ...] = ((4, "512M"), (10, "512M"), (50, "8G"))
 
 
+def _collect_sweep_arm(
+    registrations: int,
+    seed: int,
+    threads: "Optional[int]" = None,
+    size: "Optional[str]" = None,
+) -> Dict[str, List[float]]:
+    """One Fig 8 sweep arm (or, with no threads/size, the non-SGX bar).
+
+    Only the eUDM enclave is resized, as in the paper's sweep; the other
+    two modules keep the 512M default.
+    """
+    if threads is None:
+        testbed = warmed_testbed(IsolationMode.CONTAINER, seed=seed)
+    else:
+        testbed = warmed_testbed(
+            IsolationMode.SGX,
+            seed=seed,
+            max_threads=threads,
+            enclave_size_overrides={"eudm": size},
+        )
+    return collect_module_latencies(testbed, registrations, skip=1)["eudm"]
+
+
 def figure8_threads_epc_sweep(
-    registrations: int = 100, seed: int = 80
+    registrations: int = 100, seed: int = 80, jobs: int = 1
 ) -> ExperimentReport:
     """Fig 8: vary sgx.max_threads and the EPC size; measure eUDM L_F/L_T.
 
     Paper findings reproduced as checks: more threads change nothing (the
     module is single-threaded; extra TCS slots sit idle), 512 MB → 2 GB
     changes nothing, 8 GB is slightly *slower* with a wider interquartile
-    range (paging pressure), and non-SGX is fastest.
+    range (paging pressure), and non-SGX is fastest.  The four arms are
+    independent testbeds; ``jobs > 1`` collects them in parallel.
     """
     report = ExperimentReport(
         experiment_id="E2/Fig8",
@@ -33,24 +58,36 @@ def figure8_threads_epc_sweep(
     )
     lt_means: Dict[str, float] = {}
     lt_iqrs: Dict[str, float] = {}
+    arms = [
+        Arm(
+            key=f"threads={threads},epc={size}",
+            fn=_collect_sweep_arm,
+            kwargs={
+                "registrations": registrations,
+                "seed": seed,
+                "threads": threads,
+                "size": size,
+            },
+        )
+        for threads, size in SWEEP_POINTS
+    ]
+    arms.append(
+        Arm(
+            key="non-sgx",
+            fn=_collect_sweep_arm,
+            kwargs={"registrations": registrations, "seed": seed},
+        )
+    )
+    arm_data = run_arms(arms, jobs=jobs)
     for threads, size in SWEEP_POINTS:
         label = f"threads={threads},epc={size}"
-        # Only the eUDM enclave is resized, as in the paper's sweep; the
-        # other two modules keep the 512M default.
-        testbed = warmed_testbed(
-            IsolationMode.SGX,
-            seed=seed,
-            max_threads=threads,
-            enclave_size_overrides={"eudm": size},
-        )
-        data = collect_module_latencies(testbed, registrations, skip=1)["eudm"]
+        data = arm_data[label]
         report.series[f"{label}/LF"] = summarize(f"{label} L_F", data["lf_us"], "us")
         report.series[f"{label}/LT"] = summarize(f"{label} L_T", data["lt_us"], "us")
         lt_means[label] = report.series[f"{label}/LT"].mean
         lt_iqrs[label] = report.series[f"{label}/LT"].iqr
 
-    non_sgx = warmed_testbed(IsolationMode.CONTAINER, seed=seed)
-    data = collect_module_latencies(non_sgx, registrations, skip=1)["eudm"]
+    data = arm_data["non-sgx"]
     report.series["non-sgx/LF"] = summarize("non-SGX L_F", data["lf_us"], "us")
     report.series["non-sgx/LT"] = summarize("non-SGX L_T", data["lt_us"], "us")
 

@@ -306,32 +306,33 @@ class HttpServer:
         if warmup is not None:
             warmup()
 
-        busy_cm = clock.measure()
-        busy_span = busy_cm.__enter__()
-        with clock.measure() as lt_span:
-            self._run_profile(self.profile.in_window_pre)
-            runtime.compute(
-                self.tls_cost.record_cycles(len(protected_request))
-            )
-            raw = connection.server_tls.unprotect(protected_request)
-            request = HttpRequest.from_wire(raw)
-            runtime.compute(
-                self.profile.parse_fixed_cycles
-                + self.profile.parse_per_byte_cycles * len(raw)
-            )
-            handler = self._resolve(request.method, request.path)
-            context = HandlerContext(self)
-            with clock.measure() as lf_span:
-                response = handler(request, context)
-            response_raw = response.wire_bytes()
-            runtime.compute(self.tls_cost.record_cycles(len(response_raw)))
-            protected_response = connection.server_tls.protect(response_raw)
-            self._run_profile(self.profile.in_window_post)
+        # The busy window wraps L_T plus the reactor chatter after it;
+        # nesting the with-blocks keeps spans closed LIFO even when a
+        # handler raises (the error path must not leak an open span).
+        with clock.measure() as busy_span:
+            with clock.measure() as lt_span:
+                self._run_profile(self.profile.in_window_pre)
+                runtime.compute(
+                    self.tls_cost.record_cycles(len(protected_request))
+                )
+                raw = connection.server_tls.unprotect(protected_request)
+                request = HttpRequest.from_wire(raw)
+                runtime.compute(
+                    self.profile.parse_fixed_cycles
+                    + self.profile.parse_per_byte_cycles * len(raw)
+                )
+                handler = self._resolve(request.method, request.path)
+                context = HandlerContext(self)
+                with clock.measure() as lf_span:
+                    response = handler(request, context)
+                response_raw = response.wire_bytes()
+                runtime.compute(self.tls_cost.record_cycles(len(response_raw)))
+                protected_response = connection.server_tls.protect(response_raw)
+                self._run_profile(self.profile.in_window_post)
 
-        # Reactor chatter around the request (outside the L_T window but
-        # inside the client's response-time window).
-        self._run_profile(self.profile.out_of_window)
-        busy_cm.__exit__(None, None, None)
+            # Reactor chatter around the request (outside the L_T window
+            # but inside the client's response-time window).
+            self._run_profile(self.profile.out_of_window)
 
         self.busy_us.append(busy_span.us)
         self.lf_us.append(lf_span.us)

@@ -93,7 +93,11 @@ class SimClock:
             yield span
         finally:
             span.end_ns = self.now_ns
-            self._open_measurements.remove(span)
+            # Measurements nest (with-blocks), so the span being closed is
+            # always the most recently opened one: pop O(1) instead of an
+            # O(n) List.remove scan.
+            popped = self._open_measurements.pop()
+            assert popped is span, "measure() spans must close LIFO"
 
     def timestamp(self) -> int:
         """Current simulated time in nanoseconds since simulation start."""

@@ -2,11 +2,22 @@
 
 import pytest
 
-from repro.crypto.aes import aes128_ctr, aes128_decrypt_block, aes128_encrypt_block
+from repro.crypto.aes import (
+    AES128,
+    aes128_cipher,
+    aes128_ctr,
+    aes128_decrypt_block,
+    aes128_encrypt_block,
+)
 
 FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
 FIPS_PT = bytes.fromhex("00112233445566778899aabbccddeeff")
 FIPS_CT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+# FIPS-197 Appendix B: the worked cipher example (pi/e-derived values).
+APX_B_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+APX_B_PT = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+APX_B_CT = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
 
 NIST_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
 NIST_BLOCKS = [
@@ -23,6 +34,37 @@ def test_fips197_appendix_c_vector():
 
 def test_fips197_decrypt_inverts():
     assert aes128_decrypt_block(FIPS_KEY, FIPS_CT) == FIPS_PT
+
+
+def test_fips197_appendix_b_vector():
+    assert aes128_encrypt_block(APX_B_KEY, APX_B_PT) == APX_B_CT
+
+
+def test_fips197_appendix_b_decrypt():
+    assert aes128_decrypt_block(APX_B_KEY, APX_B_CT) == APX_B_PT
+
+
+def test_keyed_cipher_matches_oneshot():
+    cipher = AES128(APX_B_KEY)
+    assert cipher.encrypt_block(APX_B_PT) == APX_B_CT
+    assert cipher.decrypt_block(APX_B_CT) == APX_B_PT
+
+
+def test_keyed_cipher_ctr_matches_oneshot():
+    nonce = bytes(range(16))
+    data = b"keyed cipher and one-shot API share one keystream"
+    assert AES128(NIST_KEY).ctr(nonce, data) == aes128_ctr(NIST_KEY, nonce, data)
+
+
+def test_cipher_cache_returns_same_object():
+    # The one-shot API funnels through the per-key cache, so repeated
+    # lookups must not re-expand the schedule.
+    assert aes128_cipher(APX_B_KEY) is aes128_cipher(bytes(APX_B_KEY))
+
+
+def test_keyed_cipher_rejects_bad_key_length():
+    with pytest.raises(ValueError):
+        AES128(b"\x00" * 24)
 
 
 @pytest.mark.parametrize("plaintext_hex,ciphertext_hex", NIST_BLOCKS)

@@ -1,0 +1,154 @@
+"""T-table AES against an independent schoolbook reference (hypothesis).
+
+The production cipher in :mod:`repro.crypto.aes` is a T-table
+implementation: SubBytes/ShiftRows/MixColumns fused into four 32-bit
+lookup tables.  This module re-implements AES-128 the slow, literal
+FIPS-197 way — S-box built from the GF(2^8) inverse plus affine
+transform, byte-level state matrix, explicit round steps — and checks
+the two agree on random keys and blocks.  Nothing here is shared with
+the module under test except the test vectors' algebra itself.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES128, aes128_ctr
+
+# --- schoolbook reference implementation ------------------------------
+
+
+def _gmul(a: int, b: int) -> int:
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        carry = a & 0x80
+        a = (a << 1) & 0xFF
+        if carry:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+def _ginv(a: int) -> int:
+    if a == 0:
+        return 0
+    return next(x for x in range(1, 256) if _gmul(a, x) == 1)
+
+
+def _affine(x: int) -> int:
+    rot = lambda v, n: ((v << n) | (v >> (8 - n))) & 0xFF
+    return x ^ rot(x, 1) ^ rot(x, 2) ^ rot(x, 3) ^ rot(x, 4) ^ 0x63
+
+
+_REF_SBOX = [_affine(_ginv(a)) for a in range(256)]
+
+
+def _expand_key(key: bytes) -> list:
+    words = [list(key[4 * i : 4 * i + 4]) for i in range(4)]
+    rcon = 1
+    for i in range(4, 44):
+        word = list(words[i - 1])
+        if i % 4 == 0:
+            word = word[1:] + word[:1]
+            word = [_REF_SBOX[b] for b in word]
+            word[0] ^= rcon
+            rcon = _gmul(rcon, 2)
+        words.append([a ^ b for a, b in zip(word, words[i - 4])])
+    return [sum(words[4 * r : 4 * r + 4], []) for r in range(11)]
+
+
+def _sub_bytes(state: list) -> list:
+    return [_REF_SBOX[b] for b in state]
+
+
+def _shift_rows(state: list) -> list:
+    # Column-major state: byte (row, col) lives at state[4 * col + row].
+    out = list(state)
+    for row in range(1, 4):
+        for col in range(4):
+            out[4 * col + row] = state[4 * ((col + row) % 4) + row]
+    return out
+
+
+def _mix_columns(state: list) -> list:
+    out = []
+    for col in range(4):
+        a = state[4 * col : 4 * col + 4]
+        out.extend(
+            [
+                _gmul(a[0], 2) ^ _gmul(a[1], 3) ^ a[2] ^ a[3],
+                a[0] ^ _gmul(a[1], 2) ^ _gmul(a[2], 3) ^ a[3],
+                a[0] ^ a[1] ^ _gmul(a[2], 2) ^ _gmul(a[3], 3),
+                _gmul(a[0], 3) ^ a[1] ^ a[2] ^ _gmul(a[3], 2),
+            ]
+        )
+    return out
+
+
+def ref_encrypt_block(key: bytes, block: bytes) -> bytes:
+    round_keys = _expand_key(key)
+    state = [b ^ k for b, k in zip(block, round_keys[0])]
+    for rnd in range(1, 10):
+        state = _mix_columns(_shift_rows(_sub_bytes(state)))
+        state = [b ^ k for b, k in zip(state, round_keys[rnd])]
+    state = _shift_rows(_sub_bytes(state))
+    return bytes(b ^ k for b, k in zip(state, round_keys[10]))
+
+
+def ref_ctr(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    counter = int.from_bytes(nonce, "big")
+    keystream = b""
+    while len(keystream) < len(data):
+        block = (counter % (1 << 128)).to_bytes(16, "big")
+        keystream += ref_encrypt_block(key, block)
+        counter += 1
+    return bytes(d ^ k for d, k in zip(data, keystream))
+
+
+# --- properties -------------------------------------------------------
+
+keys = st.binary(min_size=16, max_size=16)
+blocks = st.binary(min_size=16, max_size=16)
+nonces = st.binary(min_size=16, max_size=16)
+payloads = st.binary(min_size=0, max_size=100)
+
+
+def test_reference_sbox_is_the_fips_sbox():
+    # Spot anchors from FIPS-197 Figure 7.
+    assert _REF_SBOX[0x00] == 0x63
+    assert _REF_SBOX[0x53] == 0xED
+    assert _REF_SBOX[0xFF] == 0x16
+
+
+def test_reference_matches_appendix_b():
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+    assert ref_encrypt_block(key, plaintext).hex() == (
+        "3925841d02dc09fbdc118597196a0b32"
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(key=keys, block=blocks)
+def test_ttable_encrypt_matches_schoolbook(key, block):
+    assert AES128(key).encrypt_block(block) == ref_encrypt_block(key, block)
+
+
+@settings(max_examples=40, deadline=None)
+@given(key=keys, block=blocks)
+def test_ttable_decrypt_inverts_schoolbook(key, block):
+    ciphertext = ref_encrypt_block(key, block)
+    assert AES128(key).decrypt_block(ciphertext) == block
+
+
+@settings(max_examples=25, deadline=None)
+@given(key=keys, nonce=nonces, data=payloads)
+def test_ctr_matches_schoolbook_keystream(key, nonce, data):
+    assert aes128_ctr(key, nonce, data) == ref_ctr(key, nonce, data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(key=keys, nonce=nonces, data=payloads)
+def test_ctr_roundtrip(key, nonce, data):
+    assert aes128_ctr(key, nonce, aes128_ctr(key, nonce, data)) == data

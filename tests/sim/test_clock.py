@@ -1,5 +1,7 @@
 """Simulated clock semantics."""
 
+import contextlib
+
 import pytest
 
 from repro.sim.clock import NS_PER_MS, NS_PER_US, SimClock, TimeSpan
@@ -71,3 +73,36 @@ def test_measure_span_closed_after_exit():
         pass
     clock.advance_us(100)
     assert span.ns == 0  # span does not keep growing after the block
+
+
+def test_deeply_nested_measurements_close_lifo():
+    # The close path pops the open-measurement stack (O(1)); deep nesting
+    # must unwind it exactly, leaving nothing open.
+    clock = SimClock()
+    spans = []
+    with clock.measure() as a:
+        spans.append(a)
+        with clock.measure() as b:
+            spans.append(b)
+            with clock.measure() as c:
+                spans.append(c)
+                clock.advance_us(1)
+            clock.advance_us(1)
+        clock.advance_us(1)
+    assert [span.us for span in spans] == [3.0, 2.0, 1.0]
+    assert clock._open_measurements == []
+
+
+def test_measure_rejects_out_of_order_close():
+    # Spans are with-blocks, so they can only close LIFO; closing an
+    # outer generator before its inner one trips the invariant assert.
+    clock = SimClock()
+    outer = clock.measure()
+    inner = clock.measure()
+    outer.__enter__()
+    inner.__enter__()
+    with pytest.raises(AssertionError, match="LIFO"):
+        outer.__exit__(None, None, None)
+    # Unwind the abandoned inner span so its generator does not warn at GC.
+    with contextlib.suppress(AssertionError, IndexError):
+        inner.__exit__(None, None, None)
