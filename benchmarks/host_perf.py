@@ -17,6 +17,11 @@ appends to the ``runs`` history so regressions are visible in the diff.
 Usage::
 
     PYTHONPATH=src python benchmarks/host_perf.py [--suite] [--label TEXT]
+        [--quick] [--fail-below REGS_PER_S]
+
+``--quick`` shrinks the batches to CI-smoke scale and skips the history
+file (so smoke runs never pollute the committed numbers); ``--fail-below``
+turns the registrations/s measurement into a regression gate.
 """
 
 from __future__ import annotations
@@ -55,10 +60,21 @@ def measure_aes_blocks(batch: int = BLOCK_BATCH) -> dict:
         encrypt(block)
     keyed_s = time.perf_counter() - start
 
+    # Bulk CTR over a NAS-sized message (the actual hot-path shape).
+    message = bytes(240)
+    nonce = bytes(range(32, 48))
+    ctr_batch = max(1, batch // 4)
+    ctr = cipher.ctr
+    start = time.perf_counter()
+    for _ in range(ctr_batch):
+        ctr(nonce, message)
+    ctr_s = time.perf_counter() - start
+
     return {
         "block_batch": batch,
         "oneshot_blocks_per_s": round(batch / oneshot_s, 1),
         "keyed_blocks_per_s": round(batch / keyed_s, 1),
+        "ctr_240B_msgs_per_s": round(ctr_batch / ctr_s, 1),
     }
 
 
@@ -117,26 +133,55 @@ def main(argv=None) -> int:
         default=DEFAULT_OUTPUT,
         help=f"results file (default: {DEFAULT_OUTPUT})",
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-smoke scale; measures but does not append to the history file",
+    )
+    parser.add_argument(
+        "--fail-below",
+        type=float,
+        default=None,
+        metavar="REGS_PER_S",
+        help="exit non-zero if registrations/s lands below this floor",
+    )
     args = parser.parse_args(argv)
+
+    block_batch = BLOCK_BATCH // 5 if args.quick else BLOCK_BATCH
+    registrations = max(10, REGISTRATIONS // 2) if args.quick else REGISTRATIONS
 
     run = {
         "label": args.label,
         "python": platform.python_version(),
-        "aes": measure_aes_blocks(),
-        "registration": measure_registrations(),
+        "aes": measure_aes_blocks(block_batch),
+        "registration": measure_registrations(registrations),
     }
     if args.suite:
         run.update(measure_suite())
 
-    if args.output.exists():
-        document = json.loads(args.output.read_text())
-    else:
-        document = {"description": "host wall-clock performance history", "runs": []}
-    document["runs"].append(run)
-    args.output.write_text(json.dumps(document, indent=2) + "\n")
+    if not args.quick:
+        if args.output.exists():
+            document = json.loads(args.output.read_text())
+        else:
+            document = {
+                "description": "host wall-clock performance history",
+                "runs": [],
+            }
+        document["runs"].append(run)
+        args.output.write_text(json.dumps(document, indent=2) + "\n")
 
     print(json.dumps(run, indent=2))
-    print(f"recorded -> {args.output}")
+    if not args.quick:
+        print(f"recorded -> {args.output}")
+
+    regs_per_s = run["registration"]["registrations_per_s"]
+    if args.fail_below is not None and regs_per_s < args.fail_below:
+        print(
+            f"FAIL: {regs_per_s} registrations/s below the "
+            f"--fail-below floor of {args.fail_below}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -22,8 +22,27 @@ simulation, never against an adversary with a timer.
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
-from typing import List, Tuple
+from typing import List, Optional, Tuple
+
+# Optional hardware-AES backend: when the `cryptography` package (OpenSSL
+# bindings) is importable, block and CTR operations route through AES-NI.
+# AES is AES — the output is byte-identical to the pure-Python T-table
+# path, which remains both the fallback for minimal environments and the
+# reference the property tests compare against.  Set REPRO_PURE_AES=1 to
+# force the pure path (e.g. to benchmark it).
+try:
+    if os.environ.get("REPRO_PURE_AES"):
+        raise ImportError("pure-python AES forced via REPRO_PURE_AES")
+    from cryptography.hazmat.primitives.ciphers import Cipher as _HwCipher
+    from cryptography.hazmat.primitives.ciphers import algorithms as _hw_algorithms
+    from cryptography.hazmat.primitives.ciphers import modes as _hw_modes
+
+    HAVE_HW_AES = True
+except ImportError:  # pragma: no cover - exercised via REPRO_PURE_AES runs
+    _HwCipher = _hw_algorithms = _hw_modes = None  # type: ignore[assignment]
+    HAVE_HW_AES = False
 
 # FIPS-197 S-box.
 _SBOX = bytes(
@@ -151,16 +170,47 @@ class AES128:
     True
     """
 
-    __slots__ = ("_ek", "_dk")
+    __slots__ = ("_key", "_ek_lazy", "_dk", "_hw_algo", "_hw_ecb_enc", "_hw_ecb_dec")
 
     def __init__(self, key: bytes) -> None:
-        self._ek = _expand_key_words(key)
+        key = bytes(key)
+        if len(key) != 16:
+            raise ValueError(f"AES-128 key must be 16 bytes, got {len(key)}")
+        self._key = key
         self._dk: "Tuple[int, ...] | None" = None  # inverted lazily
+        if HAVE_HW_AES:
+            algo = _hw_algorithms.AES(key)
+            self._hw_algo: Optional[object] = algo
+            # ECB contexts are stateless per block, so one encryptor /
+            # decryptor pair serves every block-API call on this key.
+            self._hw_ecb_enc = _HwCipher(algo, _hw_modes.ECB()).encryptor()
+            self._hw_ecb_dec = _HwCipher(algo, _hw_modes.ECB()).decryptor()
+            self._ek_lazy: "Tuple[int, ...] | None" = None  # pure path unused
+        else:
+            self._hw_algo = self._hw_ecb_enc = self._hw_ecb_dec = None
+            self._ek_lazy = _expand_key_words(key)
+
+    @property
+    def _ek(self) -> Tuple[int, ...]:
+        """Round-key words for the pure-Python path (expanded on demand —
+        with the hardware backend active they are only needed when a caller
+        explicitly exercises the T-table reference)."""
+        ek = self._ek_lazy
+        if ek is None:
+            ek = self._ek_lazy = _expand_key_words(self._key)
+        return ek
 
     def encrypt_block(self, block: bytes) -> bytes:
         """Encrypt one 16-byte block."""
         if len(block) != 16:
             raise ValueError(f"AES block must be 16 bytes, got {len(block)}")
+        hw = self._hw_ecb_enc
+        if hw is not None:
+            return hw.update(block)
+        return self._pure_encrypt_block(block)
+
+    def _pure_encrypt_block(self, block: bytes) -> bytes:
+        """T-table single-block encryption (backend-independent reference)."""
         ek = self._ek
         t0, t1, t2, t3 = _T0, _T1, _T2, _T3
         s0 = int.from_bytes(block[0:4], "big") ^ ek[0]
@@ -190,6 +240,13 @@ class AES128:
         """Decrypt one 16-byte block."""
         if len(block) != 16:
             raise ValueError(f"AES block must be 16 bytes, got {len(block)}")
+        hw = self._hw_ecb_dec
+        if hw is not None:
+            return hw.update(block)
+        return self._pure_decrypt_block(block)
+
+    def _pure_decrypt_block(self, block: bytes) -> bytes:
+        """Td-table single-block decryption (backend-independent reference)."""
         if self._dk is None:
             self._dk = _invert_schedule(self._ek)
         dk = self._dk
@@ -217,6 +274,71 @@ class AES128:
               | (isbox[(s1 >> 8) & 0xFF] << 8) | isbox[s0 & 0xFF]) ^ dk[43]
         return ((r0 << 96) | (r1 << 64) | (r2 << 32) | r3).to_bytes(16, "big")
 
+    def _keystream_int(self, counter: int, nblocks: int) -> int:
+        """``nblocks`` consecutive CTR keystream blocks as one big integer.
+
+        This is the bulk fast path behind :meth:`ctr`: the whole per-block
+        cipher is inlined here so the T-tables, S-box and boundary round
+        keys are bound to locals *once* and then reused across every block,
+        and the counter blocks are built with integer shifts rather than
+        ``to_bytes``/``from_bytes`` round trips.  The output is bit-for-bit
+        the concatenation of ``encrypt_block(counter + i)`` for ``i`` in
+        ``range(nblocks)`` (big-endian counter, wrapping mod 2^128).
+        """
+        ek = self._ek
+        t0, t1, t2, t3 = _T0, _T1, _T2, _T3
+        sbox = _SBOX
+        ek0, ek1, ek2, ek3 = ek[0], ek[1], ek[2], ek[3]
+        ek40, ek41, ek42, ek43 = ek[40], ek[41], ek[42], ek[43]
+        out = 0
+        for _ in range(nblocks):
+            s0 = ((counter >> 96) & 0xFFFFFFFF) ^ ek0
+            s1 = ((counter >> 64) & 0xFFFFFFFF) ^ ek1
+            s2 = ((counter >> 32) & 0xFFFFFFFF) ^ ek2
+            s3 = (counter & 0xFFFFFFFF) ^ ek3
+            k = 4
+            for _ in range(9):
+                r0 = t0[s0 >> 24] ^ t1[(s1 >> 16) & 0xFF] ^ t2[(s2 >> 8) & 0xFF] ^ t3[s3 & 0xFF] ^ ek[k]
+                r1 = t0[s1 >> 24] ^ t1[(s2 >> 16) & 0xFF] ^ t2[(s3 >> 8) & 0xFF] ^ t3[s0 & 0xFF] ^ ek[k + 1]
+                r2 = t0[s2 >> 24] ^ t1[(s3 >> 16) & 0xFF] ^ t2[(s0 >> 8) & 0xFF] ^ t3[s1 & 0xFF] ^ ek[k + 2]
+                r3 = t0[s3 >> 24] ^ t1[(s0 >> 16) & 0xFF] ^ t2[(s1 >> 8) & 0xFF] ^ t3[s2 & 0xFF] ^ ek[k + 3]
+                s0, s1, s2, s3 = r0, r1, r2, r3
+                k += 4
+            r0 = ((sbox[s0 >> 24] << 24) | (sbox[(s1 >> 16) & 0xFF] << 16)
+                  | (sbox[(s2 >> 8) & 0xFF] << 8) | sbox[s3 & 0xFF]) ^ ek40
+            r1 = ((sbox[s1 >> 24] << 24) | (sbox[(s2 >> 16) & 0xFF] << 16)
+                  | (sbox[(s3 >> 8) & 0xFF] << 8) | sbox[s0 & 0xFF]) ^ ek41
+            r2 = ((sbox[s2 >> 24] << 24) | (sbox[(s3 >> 16) & 0xFF] << 16)
+                  | (sbox[(s0 >> 8) & 0xFF] << 8) | sbox[s1 & 0xFF]) ^ ek42
+            r3 = ((sbox[s3 >> 24] << 24) | (sbox[(s0 >> 16) & 0xFF] << 16)
+                  | (sbox[(s1 >> 8) & 0xFF] << 8) | sbox[s2 & 0xFF]) ^ ek43
+            out = (out << 128) | (r0 << 96) | (r1 << 64) | (r2 << 32) | r3
+            counter = (counter + 1) & _MASK128
+        return out
+
+    def keystream(self, nonce: bytes, length: int) -> bytes:
+        """``length`` bytes of CTR keystream starting at counter ``nonce``.
+
+        Byte-identical to encrypting successive counter blocks with
+        :meth:`encrypt_block` and truncating the concatenation.
+        """
+        if len(nonce) != 16:
+            raise ValueError(f"CTR nonce must be 16 bytes, got {len(nonce)}")
+        if length <= 0:
+            return b""
+        hw_algo = self._hw_algo
+        if hw_algo is not None:
+            return (
+                _HwCipher(hw_algo, _hw_modes.CTR(nonce))
+                .encryptor()
+                .update(bytes(length))
+            )
+        nblocks = (length + 15) // 16
+        stream = self._keystream_int(int.from_bytes(nonce, "big"), nblocks)
+        # The keystream is truncated to its *first* ``length`` bytes, so a
+        # non-block-aligned tail drops the low-order bytes of the last block.
+        return (stream >> ((nblocks * 16 - length) * 8)).to_bytes(length, "big")
+
     def ctr(self, nonce: bytes, data: bytes) -> bytes:
         """Counter mode over this cipher's key.
 
@@ -228,17 +350,16 @@ class AES128:
             raise ValueError(f"CTR nonce must be 16 bytes, got {len(nonce)}")
         if not data:
             return b""
-        encrypt = self.encrypt_block
-        counter = int.from_bytes(nonce, "big")
-        # Build the keystream as one big integer and XOR once: cheaper in
-        # CPython than per-byte XOR loops.
-        stream = bytearray()
-        for _ in range((len(data) + 15) // 16):
-            stream += encrypt(counter.to_bytes(16, "big"))
-            counter = (counter + 1) & _MASK128
+        hw_algo = self._hw_algo
+        if hw_algo is not None:
+            return _HwCipher(hw_algo, _hw_modes.CTR(nonce)).encryptor().update(data)
         n = len(data)
-        keystream_int = int.from_bytes(stream[:n], "big")
-        return (int.from_bytes(data, "big") ^ keystream_int).to_bytes(n, "big")
+        nblocks = (n + 15) // 16
+        # Generate the whole keystream as one big integer and XOR once:
+        # cheaper in CPython than per-block byte juggling.
+        stream = self._keystream_int(int.from_bytes(nonce, "big"), nblocks)
+        stream >>= (nblocks * 16 - n) * 8
+        return (int.from_bytes(data, "big") ^ stream).to_bytes(n, "big")
 
 
 @lru_cache(maxsize=4096)

@@ -14,10 +14,32 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+import os
 from dataclasses import dataclass
 from typing import Tuple
 
 from repro.crypto.aes import AES128
+
+# Optional hardware/libcrypto X25519 backend.  Same opt-out knob as the AES
+# fast path: REPRO_PURE_X25519=1 forces the RFC 7748 reference ladder.  The
+# outputs are identical by definition (X25519 is deterministic), and the
+# pure ladder remains both the fallback and the reference the property
+# tests check the backend against.
+try:  # pragma: no cover - exercised indirectly via x25519()
+    if os.environ.get("REPRO_PURE_X25519"):
+        raise ImportError("pure-python X25519 forced via REPRO_PURE_X25519")
+    from cryptography.hazmat.primitives.asymmetric.x25519 import (
+        X25519PrivateKey as _HwX25519PrivateKey,
+    )
+    from cryptography.hazmat.primitives.asymmetric.x25519 import (
+        X25519PublicKey as _HwX25519PublicKey,
+    )
+
+    _HwX25519PrivateKey.from_private_bytes(bytes(32)).public_key().public_bytes_raw()
+    HAVE_HW_X25519 = True
+except Exception:  # ImportError, or an API surface too old to use
+    _HwX25519PrivateKey = _HwX25519PublicKey = None
+    HAVE_HW_X25519 = False
 
 _P = 2**255 - 19
 _A24 = 121665
@@ -43,6 +65,21 @@ def _decode_scalar(k: bytes) -> int:
 
 def x25519(scalar: bytes, u_coordinate: bytes) -> bytes:
     """RFC 7748 §5 X25519 scalar multiplication."""
+    if HAVE_HW_X25519 and len(scalar) == 32 and len(u_coordinate) == 32:
+        try:
+            return _HwX25519PrivateKey.from_private_bytes(scalar).exchange(
+                _HwX25519PublicKey.from_public_bytes(u_coordinate)
+            )
+        except ValueError:
+            # libcrypto rejects low-order points (all-zero shared secret)
+            # where the RFC ladder returns the zeros; fall through so the
+            # reference semantics hold on those edge inputs too.
+            pass
+    return _x25519_ladder(scalar, u_coordinate)
+
+
+def _x25519_ladder(scalar: bytes, u_coordinate: bytes) -> bytes:
+    """The pure-python Montgomery ladder (reference and fallback path)."""
     k = _decode_scalar(scalar)
     u = _decode_u_coordinate(u_coordinate)
 

@@ -19,7 +19,7 @@ analysis):
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.gramine.manifest import GramineManifest
 from repro.hw.host import PhysicalHost
@@ -82,6 +82,12 @@ class GramineEnclaveRuntime(Runtime):
         self.started = False
         self._contexts: List[EcallContext] = []
         self._warmed_up = False
+        # Fused-accounting caches: per-spec deterministic costs, pre-rounded
+        # to (cycles_spent, clock_ns) pairs exactly as the unfused
+        # spend_cycles sequence would round them (see Cpu.round_cycle_cost),
+        # plus the hot RNG streams resolved once instead of per syscall.
+        self._spec_costs: Dict[Tuple[str, int, int], Tuple[int, int, int, int]] = {}
+        self._transition_stream = host.rng.stream(f"{enclave.build.name}.transition")
 
     # ----------------------------------------------------------- lifecycle
 
@@ -196,25 +202,91 @@ class GramineEnclaveRuntime(Runtime):
                     model.page_evict_cycles + model.page_fault_cycles
                 )
 
-    def syscall(self, name: str, bytes_out: int = 0, bytes_in: int = 0) -> None:
-        context = self._app_context
+    def _spec_cost(self, spec: Tuple[str, int, int]) -> Tuple[int, int, int, int]:
+        """The deterministic cost of one syscall spec, pre-rounded.
+
+        Returns ``(ocall_cycles, ocall_ns, exitless_cycles, exitless_ns)``:
+        the sums of the per-component ``(cycles_spent, clock_ns)``
+        conversions the unfused path applies (shielding compute, boundary
+        copies and host work for the OCALL flavour; shielding compute and
+        the shared-memory RPC + host work for exitless), excluding the
+        per-call random transition pair and EPC-pressure draws.
+        """
+        name, bytes_out, bytes_in = spec
         nbytes = bytes_out + bytes_in
-        context.compute(_SHIELD_FIXED_CYCLES + _SHIELD_PER_BYTE_CYCLES * nbytes)
+        model = self.enclave.cost_model
+        round_cost = self.host.cpu.round_cycle_cost
+        shield = round_cost(
+            (_SHIELD_FIXED_CYCLES + _SHIELD_PER_BYTE_CYCLES * nbytes)
+            * model.epc_compute_penalty
+        )
+        host_cycles = syscall_host_cycles(name, nbytes)
+        copy_out = round_cost(bytes_out * model.boundary_copy_cycles_per_byte)
+        host = round_cost(host_cycles)
+        copy_in = round_cost(bytes_in * model.boundary_copy_cycles_per_byte)
+        # Exitless spends RPC + host work as one spend_cycles call, so the
+        # pair is rounded over the sum, not per component.
+        exitless = round_cost(_EXITLESS_RPC_CYCLES + host_cycles)
+        cost = (
+            shield[0] + copy_out[0] + host[0] + copy_in[0],
+            shield[1] + copy_out[1] + host[1] + copy_in[1],
+            shield[0] + exitless[0],
+            shield[1] + exitless[1],
+        )
+        self._spec_costs[spec] = cost
+        return cost
+
+    def syscall(self, name: str, bytes_out: int = 0, bytes_in: int = 0) -> None:
+        """One simulated syscall: shielding + EPC pressure + OCALL.
+
+        This is the fused fast path of the unfused chain
+        ``context.compute`` → ``_epc_pressure`` → ``context.ocall``: the
+        five-plus ``spend_cycles`` calls collapse into one pre-rounded
+        clock/cycle update, with every RNG draw, stat increment and event
+        emission preserved in order so runs stay bit-identical.
+        """
+        context = self._app_context
+        context._check_open()
+        spec = (name, bytes_out, bytes_in)
+        cost = self._spec_costs.get(spec)
+        if cost is None:
+            cost = self._spec_cost(spec)
         self._epc_pressure()
+        enclave = self.enclave
+        stats = enclave.stats
+        cpu = self.host.cpu
         if self.exitless:
             # No transition: the helper performs the syscall; the enclave
             # thread spins on shared memory.  Stats record the OCALL
             # logically but no EENTER/EEXIT occurs.
-            self.host.cpu.spend_cycles(
-                _EXITLESS_RPC_CYCLES + syscall_host_cycles(name, nbytes)
-            )
-            self.enclave.stats.record_ocall(name)
+            cpu.spend_preconverted(cost[2], cost[3])
+            stats.ocalls += 1
+            by_syscall = stats.ocalls_by_syscall
+            by_syscall[name] = by_syscall.get(name, 0) + 1
         else:
-            context.ocall(
-                name,
-                bytes_out=bytes_out,
-                bytes_in=bytes_in,
-                host_cycles=syscall_host_cycles(name, nbytes),
+            # EEXIT + boundary copy-out + host work + EENTER + copy-in,
+            # with the (EENTER, EEXIT) pair drawn per call as always.
+            eenter, eexit = enclave.cost_model.draw_transition_pair_from(
+                self._transition_stream
+            )
+            round_cost = cpu.round_cycle_cost
+            enter_cost = round_cost(eenter)
+            exit_cost = round_cost(eexit)
+            cpu.spend_preconverted(
+                cost[0] + enter_cost[0] + exit_cost[0],
+                cost[1] + enter_cost[1] + exit_cost[1],
+            )
+            stats.eexits += 1
+            stats.eenters += 1
+            stats.ocalls += 1
+            by_syscall = stats.ocalls_by_syscall
+            by_syscall[name] = by_syscall.get(name, 0) + 1
+            stats.bytes_copied_out += bytes_out
+            stats.bytes_copied_in += bytes_in
+            host = self.host
+            host.events.emit(
+                host.clock.now_ns, "sgx.ocall",
+                enclave=enclave.build.name, syscall=name,
             )
 
     def touch_pages(self, cold: int = 0, new: int = 0) -> None:

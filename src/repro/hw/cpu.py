@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.sim.clock import SimClock
+from repro.sim.clock import NS_PER_S, SimClock
 
 
 @dataclass(frozen=True)
@@ -60,6 +60,22 @@ class Cpu:
             raise ValueError(f"negative cycle cost: {cycles}")
         self._cycles_spent += int(cycles)
         self.clock.advance_cycles(cycles, self.spec.frequency_hz)
+
+    def round_cycle_cost(self, cycles: float) -> "tuple[int, int]":
+        """The exact ``(cycles_spent, clock_ns)`` increments one
+        :meth:`spend_cycles` call for ``cycles`` would apply.
+
+        Hot paths that fuse several cycle charges into one clock update
+        convert each component through this (same truncation, same
+        rounding) and add the sums via :meth:`spend_preconverted`, so the
+        fused charge is bit-identical to the unfused call sequence.
+        """
+        return int(cycles), int(round(cycles * NS_PER_S / self.spec.frequency_hz))
+
+    def spend_preconverted(self, cycles_int: int, ns: int) -> None:
+        """Apply pre-rounded increments from :meth:`round_cycle_cost` sums."""
+        self._cycles_spent += cycles_int
+        self.clock.now_ns += ns
 
     def cycles_to_ns(self, cycles: float) -> float:
         """Convert a cycle count to nanoseconds without spending them."""

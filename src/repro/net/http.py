@@ -27,6 +27,7 @@ from repro.container.network import BridgeNetwork
 from repro.crypto.tls import TlsCostModel, TlsSession, establish_session
 from repro.runtime.base import Runtime
 from repro.sim.clock import TimeSpan
+from repro.sim.metrics import BoundedSeries
 
 Handler = Callable[["HttpRequest", "HandlerContext"], "HttpResponse"]
 
@@ -230,6 +231,7 @@ class HttpServer:
         network: BridgeNetwork,
         profile: Optional[ServerSyscallProfile] = None,
         tls_cost: Optional[TlsCostModel] = None,
+        metrics_cap: Optional[int] = None,
     ) -> None:
         self.name = name
         self.runtime = runtime
@@ -241,14 +243,17 @@ class HttpServer:
         self._routes: Dict[Tuple[str, str], Handler] = {}
         # Per-request latency records, in microseconds of simulated time,
         # aggregate and per path (so AKA-endpoint metrics are not diluted
-        # by auxiliary requests).
-        self.lf_us: List[float] = []
-        self.lt_us: List[float] = []
-        self.lf_us_by_path: Dict[str, List[float]] = {}
-        self.lt_us_by_path: Dict[str, List[float]] = {}
+        # by auxiliary requests).  ``metrics_cap`` bounds the raw sample
+        # windows for campaign-scale runs; the ``.stats`` running summaries
+        # stay exact over every request regardless of the cap.
+        self.metrics_cap = metrics_cap
+        self.lf_us: BoundedSeries = BoundedSeries(metrics_cap)
+        self.lt_us: BoundedSeries = BoundedSeries(metrics_cap)
+        self.lf_us_by_path: Dict[str, BoundedSeries] = {}
+        self.lt_us_by_path: Dict[str, BoundedSeries] = {}
         # Full server occupancy per request (L_T window + reactor chatter):
         # the serial-capacity denominator for horizontal-scaling estimates.
-        self.busy_us: List[float] = []
+        self.busy_us: BoundedSeries = BoundedSeries(metrics_cap)
         self.requests_served = 0
 
     # ------------------------------------------------------------- routing
@@ -268,8 +273,7 @@ class HttpServer:
         """Run the server startup syscall footprint (socket/TLS/pool)."""
         if self.started:
             raise HttpError(f"server {self.name!r} already started")
-        for syscall, out_b, in_b in ServerSyscallProfile.pistache_startup():
-            self.runtime.syscall(syscall, bytes_out=out_b, bytes_in=in_b)
+        self.runtime.syscall_batch(ServerSyscallProfile.pistache_startup())
         self.started = True
 
     def stop(self) -> None:
@@ -279,8 +283,7 @@ class HttpServer:
     # ------------------------------------------------------------- serving
 
     def _run_profile(self, specs: List[SyscallSpec]) -> None:
-        for syscall, out_b, in_b in specs:
-            self.runtime.syscall(syscall, bytes_out=out_b, bytes_in=in_b)
+        self.runtime.syscall_batch(specs)
 
     def accept_connection(self, connection: "HttpConnection") -> None:
         if not self.started:
@@ -337,8 +340,12 @@ class HttpServer:
         self.busy_us.append(busy_span.us)
         self.lf_us.append(lf_span.us)
         self.lt_us.append(lt_span.us)
-        self.lf_us_by_path.setdefault(request.path, []).append(lf_span.us)
-        self.lt_us_by_path.setdefault(request.path, []).append(lt_span.us)
+        lf_series = self.lf_us_by_path.get(request.path)
+        if lf_series is None:
+            lf_series = self.lf_us_by_path[request.path] = BoundedSeries(self.metrics_cap)
+            self.lt_us_by_path[request.path] = BoundedSeries(self.metrics_cap)
+        lf_series.append(lf_span.us)
+        self.lt_us_by_path[request.path].append(lt_span.us)
         self.requests_served += 1
         return protected_response
 
@@ -391,8 +398,7 @@ class HttpClient:
     def connect(self, server: HttpServer, handshake_secret: bytes = b"") -> HttpConnection:
         """TCP + mutual-TLS connection establishment."""
         secret = handshake_secret or f"{self.name}->{server.name}".encode()
-        for syscall, out_b, in_b in self._CLIENT_CONNECT_SYSCALLS:
-            self.runtime.syscall(syscall, bytes_out=out_b, bytes_in=in_b)
+        self.runtime.syscall_batch(self._CLIENT_CONNECT_SYSCALLS)
         self.runtime.compute(self.tls_cost.handshake_cycles)
         # SYN/ACK + TLS flights across the bridge (alternating directions).
         for index, nbytes in enumerate((64, 64, 2048, 384)):
@@ -434,8 +440,7 @@ class HttpClient:
         with clock.measure() as r_span:
             self.runtime.compute(self.tls_cost.record_cycles(len(raw)))
             protected = connection.client_tls.protect(raw)
-            for syscall, out_b, in_b in self._CLIENT_REQUEST_SYSCALLS:
-                self.runtime.syscall(syscall, bytes_out=out_b, bytes_in=in_b)
+            self.runtime.syscall_batch(self._CLIENT_REQUEST_SYSCALLS)
             # Request transit, server handling, response transit — real
             # frames on the bridge (advances the clock per hop).
             self.network.transmit(self.name, connection.server.name, protected)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import Iterable, Optional, Tuple
 
 from repro.hw.host import PhysicalHost
 from repro.sgx.stats import SgxStats
@@ -42,12 +42,29 @@ SYSCALL_HOST_CYCLES = {
 _DEFAULT_SYSCALL_CYCLES = 3_000
 _COPY_CYCLES_PER_BYTE = 0.35  # kernel/user copy cost per byte
 
+# (name, nbytes) -> cycles memo.  The syscall profiles reuse a small fixed
+# set of specs tens of thousands of times per campaign, so the dict-get +
+# float arithmetic is worth caching.  Kept as a plain module dict (not
+# functools.lru_cache) so mutating SYSCALL_HOST_CYCLES in a test can reset
+# it via _reset_syscall_cycle_cache().
+_SYSCALL_CYCLE_CACHE: "dict[Tuple[str, int], float]" = {}
+
 
 def syscall_host_cycles(name: str, nbytes: int = 0) -> float:
     """Host-side cycles to service ``name`` moving ``nbytes`` of payload."""
-    return SYSCALL_HOST_CYCLES.get(name, _DEFAULT_SYSCALL_CYCLES) + (
-        nbytes * _COPY_CYCLES_PER_BYTE
-    )
+    key = (name, nbytes)
+    cycles = _SYSCALL_CYCLE_CACHE.get(key)
+    if cycles is None:
+        cycles = SYSCALL_HOST_CYCLES.get(name, _DEFAULT_SYSCALL_CYCLES) + (
+            nbytes * _COPY_CYCLES_PER_BYTE
+        )
+        _SYSCALL_CYCLE_CACHE[key] = cycles
+    return cycles
+
+
+def _reset_syscall_cycle_cache() -> None:
+    """Drop the memoised costs (after editing SYSCALL_HOST_CYCLES)."""
+    _SYSCALL_CYCLE_CACHE.clear()
 
 
 class Runtime(ABC):
@@ -79,6 +96,16 @@ class Runtime(ABC):
     def syscall(self, name: str, bytes_out: int = 0, bytes_in: int = 0) -> None:
         """Issue one syscall moving ``bytes_out`` to and ``bytes_in`` from
         the kernel."""
+
+    def syscall_batch(self, specs: Iterable[Tuple[str, int, int]]) -> None:
+        """Issue a sequence of ``(name, bytes_out, bytes_in)`` syscalls.
+
+        Semantically identical to calling :meth:`syscall` per spec; runtimes
+        override this to amortise per-call accounting over the fixed syscall
+        profiles the HTTP layer replays for every request.
+        """
+        for name, bytes_out, bytes_in in specs:
+            self.syscall(name, bytes_out, bytes_in)
 
     @abstractmethod
     def touch_pages(self, cold: int = 0, new: int = 0) -> None:

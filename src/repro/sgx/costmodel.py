@@ -10,6 +10,7 @@ and EXPERIMENTS.md for paper-vs-measured).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from repro.sim.rng import RngService
@@ -48,7 +49,16 @@ class SgxCostModel:
 
     def draw_transition_pair(self, rng: RngService, stream: str) -> "tuple[int, int]":
         """Sample an (EENTER, EEXIT) cycle cost pair from the 10k–18k band."""
-        total = rng.stream(stream).uniform(
+        return self.draw_transition_pair_from(rng.stream(stream))
+
+    def draw_transition_pair_from(self, stream: random.Random) -> "tuple[int, int]":
+        """Like :meth:`draw_transition_pair` on an already-resolved stream.
+
+        Hot callers (the fused Gramine syscall path) hold the stream object
+        so each draw skips the name-to-stream lookup; the draw sequence is
+        identical because :class:`RngService` returns one stream per name.
+        """
+        total = stream.uniform(
             self.transition_pair_min_cycles, self.transition_pair_max_cycles
         )
         # Entry is slightly more expensive than exit (TLB/LSD flush on entry).

@@ -4,15 +4,26 @@ The experiment harness and the security evaluator both need to observe what
 happened inside a run: enclave transitions, page faults, attack steps,
 protocol messages.  Components append :class:`Event` records; consumers
 filter by category.
+
+The log sits on the simulator's hottest path (one ``sgx.ocall`` event per
+simulated syscall in SGX mode), so the implementation is tuned for cheap
+appends at campaign scale:
+
+* :class:`Event` is a ``__slots__`` class — no per-instance ``__dict__``
+  and no ``dataclass`` ``object.__setattr__`` machinery on construction,
+* events live in a :class:`collections.deque`, so the optional capacity
+  trim is an O(1)-amortised ``popleft`` ring instead of a list-slice copy
+  of the surviving half on every overflow,
+* a per-category count index makes :meth:`count` O(distinct categories)
+  and lets :meth:`select` skip scanning when nothing matches.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional
 
 
-@dataclass(frozen=True)
 class Event:
     """One simulation event.
 
@@ -20,24 +31,60 @@ class Event:
     ``net.http.request`` …); ``detail`` carries event-specific fields.
     """
 
-    timestamp_ns: int
-    category: str
-    detail: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("timestamp_ns", "category", "detail")
+
+    def __init__(
+        self,
+        timestamp_ns: int,
+        category: str,
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.timestamp_ns = timestamp_ns
+        self.category = category
+        self.detail: Dict[str, Any] = {} if detail is None else detail
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Event(timestamp_ns={self.timestamp_ns}, "
+            f"category={self.category!r}, detail={self.detail!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.timestamp_ns == other.timestamp_ns
+            and self.category == other.category
+            and self.detail == other.detail
+        )
 
 
 class EventLog:
     """Append-only event trace with category filtering."""
 
     def __init__(self, capacity: Optional[int] = None) -> None:
-        self._events: List[Event] = []
+        self._events: Deque[Event] = deque()
         self._capacity = capacity
+        # Live event count per exact category; kept in lockstep with the
+        # deque so prefix counts never rescan the log.
+        self._counts: Dict[str, int] = {}
 
     def emit(self, timestamp_ns: int, category: str, **detail: Any) -> Event:
-        event = Event(timestamp_ns=timestamp_ns, category=category, detail=detail)
-        self._events.append(event)
-        if self._capacity is not None and len(self._events) > self._capacity:
+        event = Event(timestamp_ns, category, detail)
+        events = self._events
+        events.append(event)
+        counts = self._counts
+        counts[category] = counts.get(category, 0) + 1
+        if self._capacity is not None and len(events) > self._capacity:
             # Drop the oldest half; the log is diagnostics, not ground truth.
-            self._events = self._events[len(self._events) // 2 :]
+            popleft = events.popleft
+            for _ in range(len(events) // 2):
+                old_category = popleft().category
+                remaining = counts[old_category] - 1
+                if remaining:
+                    counts[old_category] = remaining
+                else:
+                    del counts[old_category]
         return event
 
     def __len__(self) -> int:
@@ -46,15 +93,25 @@ class EventLog:
     def __iter__(self) -> Iterator[Event]:
         return iter(self._events)
 
+    def _count_matching(self, prefix: str, dotted: str) -> int:
+        return sum(
+            count
+            for category, count in self._counts.items()
+            if category == prefix or category.startswith(dotted)
+        )
+
     def select(self, prefix: str) -> List[Event]:
         """All events whose category equals or starts with ``prefix.``."""
         dotted = prefix + "."
+        if not self._count_matching(prefix, dotted):
+            return []
         return [
             e for e in self._events if e.category == prefix or e.category.startswith(dotted)
         ]
 
     def count(self, prefix: str) -> int:
-        return len(self.select(prefix))
+        return self._count_matching(prefix, prefix + ".")
 
     def clear(self) -> None:
         self._events.clear()
+        self._counts.clear()

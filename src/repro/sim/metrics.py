@@ -1,0 +1,70 @@
+"""Bounded metric series with exact running summary statistics.
+
+Long campaigns (the 10k-UE capacity benchmark) push hundreds of thousands
+of per-request latency samples into the HTTP servers' metric lists.  The
+raw samples only matter for percentile plots over bounded windows; the
+aggregate statistics must stay exact over the whole run.  This module
+splits the two concerns: :class:`RunningStats` accumulates count / total /
+min / max over every sample ever added, while :class:`BoundedSeries` is a
+drop-in ``list`` of recent raw samples with an optional retention cap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+class RunningStats:
+    """Exact streaming count/total/min/max/mean over all samples added."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RunningStats(count={self.count}, mean={self.mean:.3f}, "
+            f"min={self.minimum}, max={self.maximum})"
+        )
+
+
+class BoundedSeries(list):
+    """A ``list`` of samples with running stats and an optional cap.
+
+    With ``cap=None`` (the default everywhere latency windows are sliced
+    by index) this behaves exactly like a plain list that also maintains
+    :attr:`stats`.  With a cap, appends beyond it drop the oldest half of
+    the retained samples — the stats stay exact over everything ever
+    appended, only the raw window is trimmed.
+    """
+
+    def __init__(self, cap: Optional[int] = None, iterable: Iterable[float] = ()) -> None:
+        super().__init__()
+        if cap is not None and cap < 2:
+            raise ValueError(f"cap must be >= 2, got {cap}")
+        self.cap = cap
+        self.stats = RunningStats()
+        for value in iterable:
+            self.append(value)
+
+    def append(self, value: float) -> None:
+        self.stats.add(value)
+        super().append(value)
+        if self.cap is not None and len(self) > self.cap:
+            del self[: len(self) // 2]

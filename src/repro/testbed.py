@@ -57,6 +57,10 @@ class TestbedConfig:
     preheat: bool = True
     exitless: bool = False
     airlink: AirLinkModel = field(default_factory=AirLinkModel)
+    # Bound the host event log for campaign-scale runs (None = unbounded).
+    # Purely an observer-side memory knob: trims diagnostics retention,
+    # never the simulated costs, so clocks stay bit-identical either way.
+    event_log_capacity: Optional[int] = None
 
 
 class Testbed:
@@ -130,7 +134,9 @@ class Testbed:
     @classmethod
     def build(cls, config: Optional[TestbedConfig] = None) -> "Testbed":
         config = config or TestbedConfig()
-        host = paper_testbed_host(seed=config.seed)
+        host = paper_testbed_host(
+            seed=config.seed, event_log_capacity=config.event_log_capacity
+        )
         return cls(config, host)
 
     # --------------------------------------------------------- subscribers

@@ -148,3 +148,34 @@ class TestSuciConcealment:
         suci = conceal_supi(self.SUPI, x25519_public_key(self.HN_PRIV), bytes(range(32)))
         text = str(suci)
         assert text.startswith("suci-0-001-01-0-1-")
+
+
+class TestX25519BackendEquivalence:
+    """The optional libcrypto backend must be indistinguishable from the
+    RFC 7748 reference ladder — including the low-order-point inputs the
+    library rejects but the ladder evaluates to zeros."""
+
+    def test_backend_matches_ladder_on_random_inputs(self):
+        import random
+
+        from repro.crypto.suci import _x25519_ladder
+
+        rnd = random.Random(0xC0DE)
+        for _ in range(12):
+            scalar = bytes(rnd.getrandbits(8) for _ in range(32))
+            point = bytes(rnd.getrandbits(8) for _ in range(32))
+            assert x25519(scalar, point) == _x25519_ladder(scalar, point)
+
+    def test_backend_matches_ladder_on_low_order_point(self):
+        from repro.crypto.suci import _x25519_ladder
+
+        scalar = bytes(range(32))
+        zero_point = bytes(32)  # order-1 point: all-zero shared secret
+        assert x25519(scalar, zero_point) == bytes(32)
+        assert _x25519_ladder(scalar, zero_point) == bytes(32)
+
+    def test_public_key_derivation_agrees_with_ladder(self):
+        from repro.crypto.suci import _BASE_POINT, _x25519_ladder
+
+        private = bytes(reversed(range(32)))
+        assert x25519_public_key(private) == _x25519_ladder(private, _BASE_POINT)

@@ -132,3 +132,42 @@ def test_requests_advance_simulated_time(server, client, host):
     client.request(connection, "POST", "/echo", body=b"x")
     elapsed_us = (host.clock.now_ns - t0) / 1000
     assert 100 < elapsed_us < 2_000  # sub-millisecond intra-host exchange
+
+
+def test_metrics_cap_bounds_samples_but_keeps_exact_stats(host, bridge):
+    from repro.net.rest import json_response
+    from repro.runtime.native import NativeRuntime
+
+    server = HttpServer(
+        "capped", NativeRuntime("capped", host), bridge, metrics_cap=8
+    )
+    server.route(
+        "POST", "/echo",
+        lambda request, context: json_response({"echo": request.body.decode()}),
+    )
+    server.start()
+    client = HttpClient("cap-cli", NativeRuntime("cap-cli", host), bridge)
+    connection = client.connect(server)
+    for i in range(30):
+        client.request(connection, "POST", "/echo", body=b"x")
+
+    assert server.requests_served == 30
+    # Raw sample windows are trimmed to the cap...
+    assert len(server.lt_us) <= 8
+    assert len(server.lf_us) <= 8
+    assert len(server.busy_us) <= 8
+    assert len(server.lt_us_by_path["/echo"]) <= 8
+    # ...while the running summaries still cover every request.
+    assert server.lt_us.stats.count == 30
+    assert server.busy_us.stats.count == 30
+    assert server.lt_us_by_path["/echo"].stats.count == 30
+    assert server.lt_us.stats.minimum > 0
+    assert server.lt_us.stats.mean <= server.lt_us.stats.maximum
+
+
+def test_metrics_unbounded_by_default(server, client):
+    connection = client.connect(server)
+    for _ in range(5):
+        client.request(connection, "POST", "/echo", body=b"x")
+    assert len(server.lt_us) == 5
+    assert server.lt_us.stats.count == 5

@@ -152,3 +152,68 @@ def test_ctr_matches_schoolbook_keystream(key, nonce, data):
 @given(key=keys, nonce=nonces, data=payloads)
 def test_ctr_roundtrip(key, nonce, data):
     assert aes128_ctr(key, nonce, aes128_ctr(key, nonce, data)) == data
+
+
+# --- bulk keystream vs per-block (the wire-speed fast path) -----------
+#
+# ``AES128.ctr``/``keystream`` generate the whole keystream in one bulk
+# pass (multi-block T-table loop, or the libcrypto backend when present).
+# These properties pin the bulk output to the one-ECB-call-per-block
+# definition of CTR mode, including non-block-aligned tails and counter
+# wraparound at 2^128.
+
+_MASK128 = (1 << 128) - 1
+
+# Lengths biased toward the interesting edges: empty, sub-block, exact
+# blocks, and off-by-one around block boundaries.
+lengths = st.one_of(
+    st.sampled_from([0, 1, 15, 16, 17, 31, 32, 33, 100, 255, 512]),
+    st.integers(min_value=0, max_value=600),
+)
+
+
+def _per_block_ctr(cipher, nonce, data):
+    counter = int.from_bytes(nonce, "big")
+    keystream = b""
+    while len(keystream) < len(data):
+        keystream += cipher._pure_encrypt_block(counter.to_bytes(16, "big"))
+        counter = (counter + 1) & _MASK128
+    return bytes(d ^ k for d, k in zip(data, keystream))
+
+
+@settings(max_examples=60, deadline=None)
+@given(key=keys, nonce=nonces, n=lengths, data=st.data())
+def test_bulk_ctr_matches_per_block(key, nonce, n, data):
+    payload = data.draw(st.binary(min_size=n, max_size=n))
+    cipher = AES128(key)
+    assert cipher.ctr(nonce, payload) == _per_block_ctr(cipher, nonce, payload)
+
+
+@settings(max_examples=40, deadline=None)
+@given(key=keys, nonce=nonces, n=lengths)
+def test_bulk_keystream_is_ctr_of_zeros(key, nonce, n):
+    cipher = AES128(key)
+    keystream = cipher.keystream(nonce, n)
+    assert len(keystream) == n
+    assert keystream == cipher.ctr(nonce, bytes(n))
+
+
+@settings(max_examples=20, deadline=None)
+@given(key=keys, n=st.integers(min_value=1, max_value=80))
+def test_bulk_ctr_counter_wraparound(key, n):
+    # Start the counter 2 short of 2^128 so the keystream crosses the wrap.
+    nonce = (_MASK128 - 1).to_bytes(16, "big")
+    cipher = AES128(key)
+    payload = bytes(n)
+    assert cipher.ctr(nonce, payload) == _per_block_ctr(cipher, nonce, payload)
+
+
+@settings(max_examples=30, deadline=None)
+@given(key=keys, nonce=nonces, n=lengths)
+def test_pure_bulk_keystream_matches_per_block(key, nonce, n):
+    # The pure multi-block generator itself (bypassing any hw backend).
+    cipher = AES128(key)
+    nblocks = (n + 15) // 16
+    stream = cipher._keystream_int(int.from_bytes(nonce, "big"), nblocks)
+    expected = _per_block_ctr(cipher, nonce, bytes(nblocks * 16))
+    assert stream.to_bytes(nblocks * 16, "big") == expected

@@ -53,3 +53,46 @@ def test_clear():
     log.emit(0, "x")
     log.clear()
     assert len(log) == 0
+    # The count index resets with the events.
+    assert log.count("x") == 0
+
+
+def test_count_index_tracks_capacity_trim():
+    log = EventLog(capacity=10)
+    for i in range(25):
+        log.emit(i, "tick.even" if i % 2 == 0 else "tick.odd", i=i)
+    # count/select agree with a full scan of what survived the trims.
+    surviving = list(log)
+    assert log.count("tick") == len(surviving)
+    assert log.count("tick.even") == sum(
+        1 for e in surviving if e.category == "tick.even"
+    )
+    assert log.select("tick.odd") == [
+        e for e in surviving if e.category == "tick.odd"
+    ]
+
+
+def test_select_on_absent_prefix_is_empty_without_scan():
+    log = EventLog()
+    for i in range(100):
+        log.emit(i, "sgx.ocall")
+    assert log.select("attack") == []
+    assert log.count("attack") == 0
+
+
+def test_count_is_cheap_and_exact_at_scale():
+    log = EventLog()
+    for i in range(1000):
+        log.emit(i, ("sgx.ocall", "sgx.eenter", "net.frame")[i % 3])
+    assert log.count("sgx") == 667
+    assert log.count("sgx.ocall") == 334
+    assert log.count("net") == 333
+
+
+def test_events_iterate_in_emission_order():
+    log = EventLog(capacity=6)
+    for i in range(9):
+        log.emit(i, "tick", i=i)
+    timestamps = [e.timestamp_ns for e in log]
+    assert timestamps == sorted(timestamps)
+    assert timestamps[-1] == 8

@@ -1,0 +1,61 @@
+"""Bounded metric series: exact running stats over a trimmed raw window."""
+
+import pytest
+
+from repro.sim.metrics import BoundedSeries, RunningStats
+
+
+class TestRunningStats:
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.minimum is None and stats.maximum is None
+
+    def test_accumulates_exactly(self):
+        stats = RunningStats()
+        for value in (3.0, 1.0, 2.0):
+            stats.add(value)
+        assert stats.count == 3
+        assert stats.total == 6.0
+        assert stats.mean == 2.0
+        assert (stats.minimum, stats.maximum) == (1.0, 3.0)
+
+
+class TestBoundedSeries:
+    def test_uncapped_behaves_like_a_list(self):
+        series = BoundedSeries()
+        for i in range(100):
+            series.append(float(i))
+        assert list(series) == [float(i) for i in range(100)]
+        assert series[10:12] == [10.0, 11.0]
+        assert series.stats.count == 100
+
+    def test_cap_trims_oldest_half(self):
+        series = BoundedSeries(cap=10)
+        for i in range(25):
+            series.append(float(i))
+        assert len(series) <= 10
+        # The newest sample always survives.
+        assert series[-1] == 24.0
+        # The retained window is a contiguous suffix of the appends.
+        assert list(series) == [float(i) for i in range(25 - len(series), 25)]
+
+    def test_stats_are_exact_despite_trimming(self):
+        series = BoundedSeries(cap=8)
+        values = [float(i * 7 % 13) for i in range(200)]
+        for value in values:
+            series.append(value)
+        assert series.stats.count == 200
+        assert series.stats.total == pytest.approx(sum(values))
+        assert series.stats.minimum == min(values)
+        assert series.stats.maximum == max(values)
+
+    def test_tiny_cap_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedSeries(cap=1)
+
+    def test_init_iterable_counts_in_stats(self):
+        series = BoundedSeries(cap=None, iterable=[1.0, 2.0])
+        assert list(series) == [1.0, 2.0]
+        assert series.stats.count == 2
