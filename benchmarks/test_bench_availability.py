@@ -1,0 +1,28 @@
+"""E-AVAIL: registration availability under injected faults.
+
+Sweeps 0x/1x/2x/4x the baseline fault rates over identical warmed SGX
+slices and records success rate, retry counts and tail latency per arm.
+All outputs are simulated quantities, deterministic per ``(seed, plan)``.
+
+Under ``--quick`` the arms register fewer UEs over the *same* 180 s fault
+timeline, so the band checks still see the same outage windows; the
+results files are left untouched.
+"""
+
+from repro.experiments.availability import availability_experiment
+
+FULL_REGISTRATIONS = 120
+QUICK_REGISTRATIONS = 30
+
+
+def test_bench_availability(benchmark, campaign, record_report):
+    registrations = campaign(FULL_REGISTRATIONS, quick_size=QUICK_REGISTRATIONS)
+    report = benchmark.pedantic(
+        availability_experiment,
+        kwargs={"registrations": registrations},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(report)
+    print()
+    print(report.format())

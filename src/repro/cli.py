@@ -37,6 +37,7 @@ _EXPERIMENTS: Dict[str, str] = {
     "ablation-mtcp": "User-level TCP ablation",
     "scaling": "Horizontal scaling of P-AKA replicas",
     "migration": "Slice migration service gap per backend",
+    "availability": "Registration availability under injected faults",
 }
 
 
@@ -107,6 +108,10 @@ def _run_experiment(name: str, args: argparse.Namespace) -> ExperimentReport:
         from repro.experiments.migration import migration_experiment
 
         return migration_experiment()
+    if name == "availability":
+        from repro.experiments.availability import availability_experiment
+
+        return availability_experiment(registrations=max(40, n))
     raise KeyError(name)
 
 

@@ -19,6 +19,14 @@ class NetworkError(Exception):
     """Unroutable destination or endpoint misuse."""
 
 
+class FrameLost(NetworkError):
+    """A frame dropped on the wire (injected link loss).
+
+    The sender only learns about it by timing out: HTTP clients convert
+    this into a ``RequestTimeout`` after charging the response deadline.
+    """
+
+
 @dataclass
 class Frame:
     """One captured frame (source, destination, raw payload bytes)."""
@@ -52,6 +60,10 @@ class BridgeNetwork:
     _endpoints: Dict[str, NetworkEndpoint] = field(default_factory=dict)
     _captures: List[Frame] = field(default_factory=list)
     capture_enabled: bool = False
+    # Fault-injection hook: called per frame with (src, dst, nbytes) and
+    # returns extra transit latency in µs, or None to drop the frame.
+    # Stays None in fault-free runs, costing nothing on the hot path.
+    link_filter: Optional[Callable[[str, str, int], Optional[float]]] = None
 
     def attach(self, name: str) -> NetworkEndpoint:
         if name in self._endpoints:
@@ -77,7 +89,20 @@ class BridgeNetwork:
         """Move one frame across the bridge, advancing the clock."""
         if dst not in self._endpoints:
             raise NetworkError(f"no route from {src!r} to {dst!r} on {self.name!r}")
-        self.host.clock.advance_us(self.transit_latency_us(len(payload)))
+        extra_us = 0.0
+        if self.link_filter is not None:
+            verdict = self.link_filter(src, dst, len(payload))
+            if verdict is None:
+                # The frame burns its transit time and vanishes; the
+                # sender discovers the loss only through its timeout.
+                self.host.clock.advance_us(self.transit_latency_us(len(payload)))
+                self.host.events.emit(
+                    self.host.clock.timestamp(), "net.drop",
+                    src=src, dst=dst, nbytes=len(payload),
+                )
+                raise FrameLost(f"frame {src!r}->{dst!r} lost on {self.name!r}")
+            extra_us = verdict
+        self.host.clock.advance_us(self.transit_latency_us(len(payload)) + extra_us)
         frame = Frame(
             src=src, dst=dst, payload=payload,
             timestamp_ns=self.host.clock.timestamp(),

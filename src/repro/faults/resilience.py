@@ -1,0 +1,58 @@
+"""Client-side resilience primitives for the SBI plane.
+
+:class:`repro.net.http.RetryPolicy` (re-exported here) covers the
+request path; the :class:`CircuitBreaker` sits one layer up, in
+:class:`repro.fivegc.nf_base.NetworkFunction`, so an NF whose peer is
+known-dead fails fast — a 503 in microseconds instead of burning a full
+timeout-and-retry ladder per call while the peer reloads its enclave.
+All timing is simulated-clock nanoseconds; nothing here draws from any
+RNG, so breakers add zero nondeterminism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.http import DEFAULT_SBI_RETRY, RetryPolicy  # noqa: F401  (re-export)
+
+
+@dataclass
+class CircuitBreaker:
+    """A per-peer breaker: closed → open after N consecutive transport
+    failures, half-open (single probe) after a cooldown."""
+
+    name: str = ""
+    failure_threshold: int = 3
+    cooldown_us: float = 5_000_000.0
+
+    consecutive_failures: int = 0
+    opened_at_ns: Optional[int] = None
+    # Accounting for the availability experiment.
+    times_opened: int = 0
+    fast_failures: int = 0
+
+    @property
+    def open(self) -> bool:
+        return self.opened_at_ns is not None
+
+    def allow(self, now_ns: int) -> bool:
+        """May a call proceed at simulated time ``now_ns``?"""
+        if self.opened_at_ns is None:
+            return True
+        if now_ns - self.opened_at_ns >= int(self.cooldown_us * 1_000):
+            return True  # half-open: let one probe through
+        self.fast_failures += 1
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.opened_at_ns = None
+
+    def record_failure(self, now_ns: int) -> None:
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.failure_threshold:
+            if self.opened_at_ns is None:
+                self.times_opened += 1
+            # (Re)start the cooldown — a failed half-open probe re-opens.
+            self.opened_at_ns = now_ns

@@ -15,7 +15,6 @@ Fig 5, and activates NAS security once K_AMF is derived:
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Optional
@@ -171,7 +170,7 @@ class Amf(NetworkFunction):
             payload["resynchronizationInfo"] = resync_info
         try:
             response = self.call(ausf, "POST", AUSF_UE_AUTH, payload)
-        except JsonApiError as exc:  # pragma: no cover - transport level
+        except JsonApiError as exc:  # transport failure / circuit open
             session.state = _SessionState.FAILED
             return AuthenticationReject(cause=str(exc))
         if not response.ok:
@@ -200,14 +199,20 @@ class Amf(NetworkFunction):
             session.state = _SessionState.FAILED
             return AuthenticationReject(cause="HRES* mismatch at SEAF")
 
-        # Confirm with the AUSF; on success it releases K_SEAF.
+        # Confirm with the AUSF; on success it releases K_SEAF.  A dead
+        # AUSF (or eAMF module, below) degrades into a reject for this
+        # UE instead of unwinding the whole NAS exchange.
         ausf = self.peer(NFType.AUSF)
-        response = self.call(
-            ausf,
-            "POST",
-            AUSF_UE_AUTH_CONFIRM,
-            {"authCtxId": session.auth_ctx_id, "resStar": message.res_star.hex()},
-        )
+        try:
+            response = self.call(
+                ausf,
+                "POST",
+                AUSF_UE_AUTH_CONFIRM,
+                {"authCtxId": session.auth_ctx_id, "resStar": message.res_star.hex()},
+            )
+        except JsonApiError as exc:  # transport failure / circuit open
+            session.state = _SessionState.FAILED
+            return AuthenticationReject(cause=str(exc))
         if not response.ok or response.json().get("result") != "AUTHENTICATION_SUCCESS":
             session.state = _SessionState.FAILED
             return AuthenticationReject(cause="AUSF confirmation failed")
@@ -217,7 +222,11 @@ class Amf(NetworkFunction):
 
         # Derive K_AMF — in the eAMF P-AKA module when offloaded.
         if self.offload_module is not None:
-            session.kamf = self._derive_kamf_offloaded(kseaf, session.supi)
+            try:
+                session.kamf = self._derive_kamf_offloaded(kseaf, session.supi)
+            except JsonApiError as exc:
+                session.state = _SessionState.FAILED
+                return AuthenticationReject(cause=str(exc))
         else:
             self.runtime.compute(_KAMF_LOCAL_CYCLES)
             session.kamf = derive_kamf(kseaf, session.supi, _ABBA)
@@ -378,17 +387,10 @@ class Amf(NetworkFunction):
     def _derive_kamf_offloaded(self, kseaf: bytes, supi: str) -> bytes:
         module = self.offload_module
         assert module is not None
-        connection = self._connections.get(module.server.name)
-        if connection is None or not connection.open:
-            connection = self.client.connect(module.server)
-            self._connections[module.server.name] = connection
         payload = {"kseaf": kseaf.hex(), "supi": supi, "abba": _ABBA.hex()}
-        response = self.client.request(
-            connection, "POST", EAMF_DERIVE_KAMF,
-            body=json.dumps(payload, sort_keys=True).encode(),
-        )
+        response = self.call_server(module.server, "POST", EAMF_DERIVE_KAMF, payload)
         if not response.ok:
-            raise AmfError(f"eAMF module error: {response.status}")
+            raise JsonApiError(502, f"eAMF module error: {response.status}")
         return bytes.fromhex(response.json()["kamf"])
 
     # ----------------------------------------------------------- inspection

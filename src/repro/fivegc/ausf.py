@@ -9,7 +9,6 @@ against XRES* before releasing K_SEAF to the SEAF/AMF.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -134,10 +133,6 @@ class Ausf(NetworkFunction):
         """Fig 5: HXRES* calculation + K_SEAF derivation in eAUSF P-AKA."""
         module = self.offload_module
         assert module is not None
-        connection = self._connections.get(module.server.name)
-        if connection is None or not connection.open:
-            connection = self.client.connect(module.server)
-            self._connections[module.server.name] = connection
         payload = {
             "rand": he_av.rand.hex(),
             "autn": he_av.autn.hex(),
@@ -145,10 +140,7 @@ class Ausf(NetworkFunction):
             "kausf": he_av.kausf.hex(),
             "snn": snn,
         }
-        response = self.client.request(
-            connection, "POST", EAUSF_DERIVE_SE_AV,
-            body=json.dumps(payload, sort_keys=True).encode(),
-        )
+        response = self.call_server(module.server, "POST", EAUSF_DERIVE_SE_AV, payload)
         if not response.ok:
             raise JsonApiError(502, f"eAUSF module error: {response.status}")
         body = response.json()

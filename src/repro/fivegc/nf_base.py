@@ -12,11 +12,19 @@ from __future__ import annotations
 import json
 from typing import Dict, Optional
 
-from repro.container.network import BridgeNetwork
+from repro.container.network import BridgeNetwork, NetworkError
+from repro.faults.resilience import CircuitBreaker
 from repro.hw.host import PhysicalHost
-from repro.net.http import HttpClient, HttpConnection, HttpResponse, HttpServer
+from repro.net.http import (
+    HttpClient,
+    HttpConnection,
+    HttpError,
+    HttpResponse,
+    HttpServer,
+    RetryPolicy,
+)
 from repro.net.rest import JsonApiError, error_response, json_response
-from repro.net.sbi import NFProfile, NFType
+from repro.net.sbi import NF_HEALTH, NFProfile, NFType
 from repro.runtime.base import Runtime
 from repro.runtime.native import NativeRuntime
 
@@ -43,6 +51,11 @@ class NetworkFunction:
         )
         self._connections: Dict[str, HttpConnection] = {}
         self._peers: Dict[NFType, "NetworkFunction"] = {}
+        # Resilience: optional SBI retry policy (None = single attempt,
+        # the pre-resilience hot path) and a per-peer circuit breaker so
+        # a dead peer fails fast instead of wedging every caller.
+        self.retry_policy: Optional[RetryPolicy] = None
+        self.circuit_breakers: Dict[str, CircuitBreaker] = {}
         self.profile = NFProfile(
             nf_instance_id=f"{name}-0001",
             nf_type=self.NF_TYPE,
@@ -50,6 +63,7 @@ class NetworkFunction:
             services=[],
         )
         self._register_routes()
+        self._route_json("GET", NF_HEALTH, self._handle_health)
         self.server.start()
 
     # ------------------------------------------------------------- routing
@@ -68,6 +82,13 @@ class NetworkFunction:
 
         self.server.route(method, path, wrapped)
 
+    def _handle_health(self, request, context) -> HttpResponse:
+        """Liveness probe: answered by any NF that can still serve."""
+        context.runtime.compute(1_500)
+        return self._ok(
+            {"nfInstanceId": self.profile.nf_instance_id, "status": "OPERATIONAL"}
+        )
+
     # ----------------------------------------------------- peer connections
 
     def connect_peer(self, peer: "NetworkFunction") -> HttpConnection:
@@ -84,11 +105,66 @@ class NetworkFunction:
         method: str,
         path: str,
         payload: Optional[dict] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> HttpResponse:
         """One SBI request to a peer over the cached connection."""
-        connection = self.connect_peer(peer)
+        return self.call_server(peer.server, method, path, payload, retry=retry)
+
+    def call_server(
+        self,
+        server: HttpServer,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> HttpResponse:
+        """One SBI request to a raw HTTP server (peer NF or P-AKA module).
+
+        Transport failures — timeouts, lost frames, dead endpoints — are
+        translated into :class:`JsonApiError` 503 so handlers up the call
+        chain degrade into error responses (an AuthenticationReject at
+        the AMF) instead of unwinding the whole NAS exchange.  A per-peer
+        circuit breaker fails fast while a peer is known-dead.
+        """
+        breaker = self.circuit_breakers.get(server.name)
+        if breaker is None:
+            breaker = self.circuit_breakers[server.name] = CircuitBreaker(
+                name=f"{self.name}->{server.name}"
+            )
+        if not breaker.allow(self.host.clock.now_ns):
+            raise JsonApiError(
+                503, f"{self.name}: circuit to {server.name} open"
+            )
         body = json.dumps(payload or {}, sort_keys=True).encode()
-        return self.client.request(connection, method, path, body=body)
+        try:
+            connection = self._connections.get(server.name)
+            if connection is None or not connection.open:
+                connection = self.client.connect(server)
+                self._connections[server.name] = connection
+            response = self.client.request(
+                connection, method, path, body=body,
+                retry=retry if retry is not None else self.retry_policy,
+            )
+        except (HttpError, NetworkError) as exc:
+            # The TLS record stream may be desynchronized mid-exchange:
+            # poison the cached connection so the next call re-handshakes.
+            stale = self._connections.get(server.name)
+            if stale is not None:
+                stale.open = False
+            breaker.record_failure(self.host.clock.now_ns)
+            raise JsonApiError(
+                503, f"{self.name}: {server.name} unreachable: {exc}"
+            )
+        breaker.record_success()
+        return response
+
+    def check_health(self, peer: "NetworkFunction") -> bool:
+        """Probe a peer's liveness endpoint; False on any failure."""
+        try:
+            response = self.call(peer, "GET", NF_HEALTH)
+        except JsonApiError:
+            return False
+        return response.ok and response.json().get("status") == "OPERATIONAL"
 
     # -------------------------------------------------------- NRF plumbing
 

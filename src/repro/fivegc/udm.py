@@ -11,7 +11,6 @@ inside the module.
 
 from __future__ import annotations
 
-import json
 from typing import Optional
 
 from repro.aka import verify_auts
@@ -148,7 +147,6 @@ class Udm(NetworkFunction):
         """Fig 5 step 2–3: round-trip to the eUDM P-AKA module."""
         module = self.offload_module
         assert module is not None
-        connection = self.connect_module(module)
         payload = {
             "supi": supi,
             "opc": opc.hex(),
@@ -157,10 +155,7 @@ class Udm(NetworkFunction):
             "amfField": amf_field.hex(),
             "snn": snn_text,
         }
-        response = self.client.request(
-            connection, "POST", EUDM_GENERATE_AV,
-            body=json.dumps(payload, sort_keys=True).encode(),
-        )
+        response = self.call_server(module.server, "POST", EUDM_GENERATE_AV, payload)
         if not response.ok:
             raise JsonApiError(502, f"eUDM module error: {response.status}")
         return response.json()
@@ -184,14 +179,10 @@ class Udm(NetworkFunction):
         opc = bytes.fromhex(record["opc"])
 
         if self.offload_module is not None:
-            connection = self.connect_module(self.offload_module)
-            response = self.client.request(
-                connection, "POST", EUDM_VERIFY_AUTS,
-                body=json.dumps(
-                    {"supi": supi, "opc": opc.hex(), "rand": rand.hex(),
-                     "auts": auts.hex()},
-                    sort_keys=True,
-                ).encode(),
+            response = self.call_server(
+                self.offload_module.server, "POST", EUDM_VERIFY_AUTS,
+                {"supi": supi, "opc": opc.hex(), "rand": rand.hex(),
+                 "auts": auts.hex()},
             )
             if response.status == 403:
                 raise JsonApiError(403, "AUTS verification failed")
@@ -212,13 +203,6 @@ class Udm(NetworkFunction):
         if not resync.ok:
             raise JsonApiError(resync.status, "UDR resync failed")
 
-    def connect_module(self, module: EudmPakaModule):
-        """Keep-alive connection to the module (stable-response regime)."""
-        connection = self._connections.get(module.server.name)
-        if connection is None or not connection.open:
-            connection = self.client.connect(module.server)
-            self._connections[module.server.name] = connection
-        return connection
 
 
 def snn_for(mcc: str, mnc: str) -> str:

@@ -37,8 +37,12 @@ class AuthSubscription:
         return self.sqn.to_bytes(6, "big")
 
     def advance_sqn(self) -> bytes:
-        """Increment and return the new SQN (per-authentication step)."""
-        self.sqn += 1
+        """Increment and return the new SQN (per-authentication step).
+
+        SQN is a 48-bit counter (TS 33.102 Annex C) and wraps modulo
+        2^48 — ``to_bytes(6, ...)`` would otherwise overflow.
+        """
+        self.sqn = (self.sqn + 1) % (1 << 48)
         return self.sqn_bytes
 
 

@@ -23,11 +23,12 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.container.network import BridgeNetwork
+from repro.container.network import BridgeNetwork, FrameLost, NetworkError
 from repro.crypto.tls import TlsCostModel, TlsSession, establish_session
 from repro.runtime.base import Runtime
 from repro.sim.clock import TimeSpan
 from repro.sim.metrics import BoundedSeries
+from repro.sim.rng import RngService
 
 Handler = Callable[["HttpRequest", "HandlerContext"], "HttpResponse"]
 
@@ -37,6 +38,52 @@ SyscallSpec = Tuple[str, int, int]
 
 class HttpError(Exception):
     """Protocol-level failure (no route, bad payload, closed connection)."""
+
+
+class UnresponsiveError(HttpError):
+    """The peer accepted the frame but will never answer (crash window).
+
+    Raised by a server's ``fault_gate``; the client converts it into a
+    :class:`RequestTimeout` after waiting out its response deadline.
+    """
+
+
+class RequestTimeout(HttpError):
+    """The client's per-attempt response deadline expired."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """SBI client retry behaviour: per-attempt deadline + capped
+    exponential backoff with multiplicative jitter.
+
+    Backoff jitter draws from the client's own ``retry.<name>`` RNG
+    stream, and only when a retry actually happens — fault-free runs
+    never touch the stream, keeping golden clocks bit-identical.
+    """
+
+    max_attempts: int = 3
+    timeout_us: float = 2_000_000.0  # per-attempt response deadline
+    base_backoff_us: float = 50_000.0
+    backoff_multiplier: float = 2.0
+    max_backoff_us: float = 1_600_000.0
+    jitter: float = 0.10
+
+    def backoff_us(
+        self, retry_index: int, rng: Optional[RngService] = None, stream: str = ""
+    ) -> float:
+        """Backoff before retry number ``retry_index`` (1-based)."""
+        base = min(
+            self.base_backoff_us * self.backoff_multiplier ** (retry_index - 1),
+            self.max_backoff_us,
+        )
+        if rng is None or self.jitter <= 0:
+            return base
+        return rng.jitter(stream, base, self.jitter)
+
+
+#: Default SBI policy for NF-to-NF calls (attached by NetworkFunction).
+DEFAULT_SBI_RETRY = RetryPolicy()
 
 
 @dataclass
@@ -246,6 +293,10 @@ class HttpServer:
         # by auxiliary requests).  ``metrics_cap`` bounds the raw sample
         # windows for campaign-scale runs; the ``.stats`` running summaries
         # stay exact over every request regardless of the cap.
+        # Fault-injection hook: consulted at the top of :meth:`serve`;
+        # raises (e.g. UnresponsiveError) to fail the request.  None in
+        # fault-free runs — zero cost on the hot path.
+        self.fault_gate: Optional[Callable[["HttpServer"], None]] = None
         self.metrics_cap = metrics_cap
         self.lf_us: BoundedSeries = BoundedSeries(metrics_cap)
         self.lt_us: BoundedSeries = BoundedSeries(metrics_cap)
@@ -301,6 +352,8 @@ class HttpServer:
         """
         if not self.started:
             raise HttpError(f"server {self.name!r} not started")
+        if self.fault_gate is not None:
+            self.fault_gate(self)
         runtime = self.runtime
         clock = runtime.host.clock
 
@@ -394,6 +447,10 @@ class HttpClient:
         self.tls_cost = tls_cost or TlsCostModel()
         self.response_times_us: List[float] = []
         self.response_times_by_server: Dict[str, List[float]] = {}
+        # Resilience accounting (only moves when faults/retries happen).
+        self.retries = 0
+        self.timeouts = 0
+        self.reconnects = 0
 
     def connect(self, server: HttpServer, handshake_secret: bytes = b"") -> HttpConnection:
         """TCP + mutual-TLS connection establishment."""
@@ -423,8 +480,51 @@ class HttpClient:
         path: str,
         body: bytes = b"",
         headers: Optional[Dict[str, str]] = None,
+        timeout_us: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> HttpResponse:
-        """One request/response exchange; records the response time R."""
+        """One request/response exchange; records the response time R.
+
+        With ``retry`` set, transport failures (timeouts, lost frames,
+        dead endpoints) are retried with exponential backoff, transparently
+        re-establishing the TLS connection in place.  Protocol errors
+        (no route, malformed exchange) are deterministic and never
+        retried.  Without ``retry`` and ``timeout_us`` the behaviour is
+        exactly the pre-resilience hot path.
+        """
+        if retry is None:
+            return self._attempt(connection, method, path, body, headers, timeout_us)
+        deadline = timeout_us if timeout_us is not None else retry.timeout_us
+        last_error: Optional[Exception] = None
+        for attempt in range(1, retry.max_attempts + 1):
+            if attempt > 1:
+                self.retries += 1
+                backoff = retry.backoff_us(
+                    attempt - 1, self.runtime.host.rng, f"retry.{self.name}"
+                )
+                self.runtime.host.clock.advance_us(backoff)
+            try:
+                if not connection.open:
+                    self._reconnect(connection)
+                return self._attempt(connection, method, path, body, headers, deadline)
+            except (RequestTimeout, UnresponsiveError, NetworkError) as exc:
+                last_error = exc
+                # The transport is suspect: force a fresh connection on
+                # the next attempt (TCP would be in an undefined state).
+                connection.open = False
+        assert last_error is not None
+        raise last_error
+
+    def _attempt(
+        self,
+        connection: HttpConnection,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Optional[Dict[str, str]],
+        timeout_us: Optional[float],
+    ) -> HttpResponse:
+        """A single request/response attempt with an optional deadline."""
         if not connection.open:
             raise HttpError("connection is closed")
         clock = self.runtime.host.clock
@@ -437,26 +537,63 @@ class HttpClient:
             method=method, path=path,
         )
         raw = request.wire_bytes()
+        start_ns = clock.now_ns
         with clock.measure() as r_span:
-            self.runtime.compute(self.tls_cost.record_cycles(len(raw)))
-            protected = connection.client_tls.protect(raw)
-            self.runtime.syscall_batch(self._CLIENT_REQUEST_SYSCALLS)
-            # Request transit, server handling, response transit — real
-            # frames on the bridge (advances the clock per hop).
-            self.network.transmit(self.name, connection.server.name, protected)
-            protected_response = connection.server.serve(connection, protected)
-            self.network.transmit(
-                connection.server.name, self.name, protected_response
+            try:
+                self.runtime.compute(self.tls_cost.record_cycles(len(raw)))
+                protected = connection.client_tls.protect(raw)
+                self.runtime.syscall_batch(self._CLIENT_REQUEST_SYSCALLS)
+                # Request transit, server handling, response transit — real
+                # frames on the bridge (advances the clock per hop).
+                self.network.transmit(self.name, connection.server.name, protected)
+                protected_response = connection.server.serve(connection, protected)
+                self.network.transmit(
+                    connection.server.name, self.name, protected_response
+                )
+                self.runtime.compute(
+                    self.tls_cost.record_cycles(len(protected_response))
+                )
+                response_raw = connection.client_tls.unprotect(protected_response)
+            except (UnresponsiveError, FrameLost) as exc:
+                # No response will ever arrive; the client blocks until
+                # its deadline.  The measure() context pops the span on
+                # the way out, so the error path leaks no open span.
+                if timeout_us is None:
+                    raise
+                elapsed_us = (clock.now_ns - start_ns) / 1_000.0
+                if timeout_us > elapsed_us:
+                    clock.advance_us(timeout_us - elapsed_us)
+                self.timeouts += 1
+                raise RequestTimeout(
+                    f"{self.name}->{connection.server.name} {method} {path}: "
+                    f"no response within {timeout_us:.0f}us"
+                ) from exc
+        if timeout_us is not None and r_span.us > timeout_us:
+            # The response arrived after the client already gave up
+            # (e.g. an injected latency spike): it is discarded.
+            self.timeouts += 1
+            raise RequestTimeout(
+                f"{self.name}->{connection.server.name} {method} {path}: "
+                f"response after {r_span.us:.0f}us deadline {timeout_us:.0f}us"
             )
-            self.runtime.compute(
-                self.tls_cost.record_cycles(len(protected_response))
-            )
-            response_raw = connection.client_tls.unprotect(protected_response)
         self.response_times_us.append(r_span.us)
         self.response_times_by_server.setdefault(
             connection.server.name, []
         ).append(r_span.us)
         return HttpResponse.from_wire(response_raw)
+
+    def _reconnect(self, connection: HttpConnection) -> None:
+        """Re-establish a dead connection *in place*.
+
+        Mutating the existing object keeps every cached reference (NF
+        connection caches) valid — callers never learn the TCP session
+        was replaced, just like a connection pool.
+        """
+        fresh = self.connect(connection.server)
+        connection.client_tls = fresh.client_tls
+        connection.server_tls = fresh.server_tls
+        connection.open = True
+        self.reconnects += 1
 
     def close(self, connection: HttpConnection) -> None:
         if connection.open:

@@ -26,6 +26,7 @@ class NFType(Enum):
 
 # Core SBI API paths.
 NRF_REGISTER = "/nnrf-nfm/v1/nf-instances"
+NF_HEALTH = "/nnrf-nfm/v1/nf-health"  # liveness probe, served by every NF
 NRF_DISCOVER = "/nnrf-disc/v1/nf-instances"
 UDR_AUTH_SUBSCRIPTION = "/nudr-dr/v1/subscription-data/authentication-data"
 UDR_AUTH_PEEK = "/nudr-dr/v1/subscription-data/authentication-data/peek"

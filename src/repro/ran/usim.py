@@ -38,6 +38,9 @@ class Usim:
 
     # TS 33.102 Annex C: accept SQNs at most this far ahead of SQN_MS.
     SQN_DELTA = 1 << 28
+    # SQN is a 48-bit counter; freshness is a *modular* comparison
+    # (Annex C.2), so the window keeps working across wraparound.
+    SQN_MODULUS = 1 << 48
 
     def __init__(
         self,
@@ -75,7 +78,12 @@ class Usim:
             return UsimAuthResult(success=False, cause="MAC_FAILURE")
 
         sqn_value = int.from_bytes(sqn, "big")
-        if not (self.sqn_ms < sqn_value <= self.sqn_ms + self.SQN_DELTA):
+        # Annex C.2 freshness: SEQ is fresh iff 0 < (SEQ - SEQ_MS) mod 2^48
+        # <= Δ.  The naive ``sqn_ms < sqn_value`` form rejects every AUTN
+        # once SQN_MS nears 2^48 (the network's next SQN wraps to a small
+        # value), locking the USIM into an endless resync loop.
+        delta = (sqn_value - self.sqn_ms) % self.SQN_MODULUS
+        if not (0 < delta <= self.SQN_DELTA):
             return UsimAuthResult(
                 success=False, cause="SYNCH_FAILURE", auts=self._build_auts(rand)
             )

@@ -102,16 +102,25 @@ class EpcManager:
                 f"enclave {region.name!r} touched {n_pages} pages but its "
                 f"EPC size is only {region.total_pages} pages"
             )
-        overshoot = max(0, self.resident_pages + n_pages - self.capacity_pages)
-        if overshoot:
-            self._evict(overshoot, stats, charge_time)
-        # Whatever still doesn't fit after eviction cycles through the EPC
-        # transiently: each such page is faulted in and immediately written
-        # back, so residency never exceeds the physical capacity.
-        available = self.capacity_pages - self.resident_pages
+        # Pages above the region's own headroom cycle through the EPC
+        # transiently: each is faulted in and immediately written back, so
+        # residency never exceeds the enclave's size.
         headroom = region.total_pages - region.resident_pages
-        resident_increase = max(0, min(n_pages, available, headroom))
+        resident_increase = min(n_pages, headroom)
         transient = n_pages - resident_increase
+        # Evict only what the resident increase actually needs, and only
+        # from *other* regions — stealing from the faulting region would
+        # evict pages just to re-fault them on the next touch.
+        free = self.capacity_pages - self.resident_pages
+        need = max(0, resident_increase - free)
+        if need:
+            evicted = self._evict(need, stats, charge_time, exclude=region)
+            shortfall = need - evicted
+            if shortfall:
+                # Other regions could not free enough physical pages; the
+                # remainder of this fault becomes transient traffic too.
+                resident_increase -= shortfall
+                transient += shortfall
         region.resident_pages += resident_increase
         if stats is not None:
             stats.page_faults += n_pages
@@ -122,21 +131,33 @@ class EpcManager:
                 + transient * self.cost_model.page_evict_cycles
             )
 
-    def _evict(self, n_pages: int, stats: Optional[SgxStats], charge_time: bool) -> None:
-        """Evict ``n_pages`` from the largest regions (approximate global LRU)."""
+    def _evict(
+        self,
+        n_pages: int,
+        stats: Optional[SgxStats],
+        charge_time: bool,
+        exclude: Optional[EpcRegion] = None,
+    ) -> int:
+        """Evict up to ``n_pages`` from the largest regions (approximate
+        global LRU), never touching ``exclude``.  Returns the number of
+        pages actually evicted — each counted exactly once, here."""
         remaining = n_pages
         for region in sorted(
             self._regions.values(), key=lambda r: r.resident_pages, reverse=True
         ):
+            if region is exclude:
+                continue
             take = min(region.resident_pages, remaining)
             region.resident_pages -= take
             remaining -= take
-            if stats is not None:
-                stats.page_evictions += take
             if remaining == 0:
                 break
+        evicted = n_pages - remaining
+        if stats is not None:
+            stats.page_evictions += evicted
         if charge_time:
-            self.cpu.spend_cycles((n_pages - remaining) * self.cost_model.page_evict_cycles)
+            self.cpu.spend_cycles(evicted * self.cost_model.page_evict_cycles)
+        return evicted
 
     def management_cycles(self, region: EpcRegion, stream: str) -> float:
         """Per-call EPC management overhead for ``region``.

@@ -59,13 +59,16 @@ def test_resync_is_attempted_only_once(testbed):
 
 
 def test_module_crash_fails_registration_not_core(testbed):
-    """Killing the eUDM module makes registrations fail upstream while the
-    core stays up; restoring service is a matter of redeploying."""
+    """Killing the eUDM module makes registrations *fail* upstream — a
+    clean AuthenticationReject, not an exception unwinding the NAS stack
+    — while the core stays up; restoring service is a redeploy."""
     eudm = testbed.paka.module("eudm")
     eudm.server.stop()
     ue = testbed.add_subscriber()
-    with pytest.raises(Exception):
-        testbed.register(ue, establish_session=False)
+    outcome = testbed.register(ue, establish_session=False)
+    assert not outcome.success
+    # The module outage surfaced as a 503 travelling up the SBI chain.
+    assert "503" in (outcome.failure_cause or "")
     # Core NFs are still serving (NRF answers discovery).
     from repro.net.sbi import NRF_DISCOVER
 

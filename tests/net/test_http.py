@@ -171,3 +171,136 @@ def test_metrics_unbounded_by_default(server, client):
         client.request(connection, "POST", "/echo", body=b"x")
     assert len(server.lt_us) == 5
     assert server.lt_us.stats.count == 5
+
+
+# --------------------------------------------------------------------------
+# Timeouts, retries and exception safety along the failure paths.
+
+
+from repro.container.network import FrameLost, NetworkError  # noqa: E402
+from repro.net.http import (  # noqa: E402
+    RequestTimeout,
+    RetryPolicy,
+    UnresponsiveError,
+)
+
+FAST_RETRY = RetryPolicy(max_attempts=3, timeout_us=5_000.0, base_backoff_us=100.0)
+
+
+def raise_unresponsive(server):
+    raise UnresponsiveError(f"{server.name} is down")
+
+
+def test_unresponsive_without_timeout_propagates(server, client, host):
+    server.fault_gate = raise_unresponsive
+    connection = client.connect(server)
+    with pytest.raises(UnresponsiveError):
+        client.request(connection, "POST", "/echo", body=b"x")
+    # The error path leaks no open measurement span.
+    assert host.clock._open_measurements == []
+    assert client.timeouts == 0  # no deadline, no timeout accounting
+
+
+def test_timeout_charges_the_full_deadline(server, client, host):
+    server.fault_gate = raise_unresponsive
+    connection = client.connect(server)
+    t0 = host.clock.now_ns
+    with pytest.raises(RequestTimeout):
+        client.request(connection, "POST", "/echo", body=b"x", timeout_us=5_000.0)
+    elapsed_us = (host.clock.now_ns - t0) / 1_000
+    assert elapsed_us >= 5_000.0  # the client blocked until its deadline
+    assert client.timeouts == 1
+    assert host.clock._open_measurements == []
+
+
+def test_retry_recovers_after_transient_outage(server, client, host):
+    calls = []
+
+    def flaky_gate(srv):
+        calls.append(1)
+        if len(calls) == 1:
+            raise UnresponsiveError("first attempt eats a crash window")
+
+    server.fault_gate = flaky_gate
+    connection = client.connect(server)
+    response = client.request(
+        connection, "POST", "/echo", body=b"hello", retry=FAST_RETRY
+    )
+    assert response.ok
+    assert client.retries == 1
+    assert client.timeouts == 1
+    assert client.reconnects == 1  # fresh TLS session for attempt 2
+    assert connection.open  # cached reference still valid
+    assert host.clock._open_measurements == []
+    # The healed connection keeps serving without another handshake.
+    assert client.request(connection, "POST", "/echo", body=b"again").ok
+    assert client.reconnects == 1
+
+
+def test_retry_exhaustion_raises_request_timeout(server, client, host):
+    server.fault_gate = raise_unresponsive
+    connection = client.connect(server)
+    with pytest.raises(RequestTimeout):
+        client.request(connection, "POST", "/echo", body=b"x", retry=FAST_RETRY)
+    assert client.retries == FAST_RETRY.max_attempts - 1
+    assert client.timeouts == FAST_RETRY.max_attempts
+    assert host.clock._open_measurements == []
+
+
+def test_protocol_errors_are_never_retried(server, client):
+    connection = client.connect(server)
+    with pytest.raises(HttpError, match="no route"):
+        client.request(connection, "GET", "/missing", retry=FAST_RETRY)
+    assert client.retries == 0
+
+
+def test_lost_frame_times_out(server, client, host, bridge):
+    connection = client.connect(server)
+    bridge.link_filter = lambda src, dst, nbytes: None  # drop everything
+    with pytest.raises(RequestTimeout):
+        client.request(connection, "POST", "/echo", body=b"x", timeout_us=5_000.0)
+    bridge.link_filter = None
+    assert client.timeouts == 1
+    assert host.clock._open_measurements == []
+
+
+def test_late_response_is_discarded(server, client, host, bridge):
+    connection = client.connect(server)
+    bridge.link_filter = lambda src, dst, nbytes: 50_000.0  # +50 ms per frame
+    with pytest.raises(RequestTimeout, match="deadline"):
+        client.request(connection, "POST", "/echo", body=b"x", timeout_us=1_000.0)
+    bridge.link_filter = None
+    assert client.timeouts == 1
+    assert client.response_times_us == []  # the late response is not a sample
+    assert host.clock._open_measurements == []
+
+
+def test_handler_exception_leaks_no_span_or_sample(server, client, host):
+    def exploding(request, context):
+        raise HttpError("handler blew up")
+
+    server.route("GET", "/boom", exploding)
+    connection = client.connect(server)
+    served_before = server.requests_served
+    samples_before = len(server.lt_us)
+    with pytest.raises(HttpError, match="blew up"):
+        client.request(connection, "GET", "/boom")
+    assert host.clock._open_measurements == []
+    assert server.requests_served == served_before
+    assert len(server.lt_us) == samples_before
+    # The same connection still serves the next request.
+    assert client.request(connection, "POST", "/echo", body=b"x").ok
+
+
+def test_backoff_advances_the_simulated_clock(server, client, host):
+    server.fault_gate = raise_unresponsive
+    connection = client.connect(server)
+    policy = RetryPolicy(
+        max_attempts=2, timeout_us=1_000.0, base_backoff_us=40_000.0, jitter=0.0
+    )
+    t0 = host.clock.now_ns
+    with pytest.raises(RequestTimeout):
+        client.request(connection, "POST", "/echo", body=b"x", retry=policy)
+    elapsed_us = (host.clock.now_ns - t0) / 1_000
+    # Two 1 ms deadlines plus one 40 ms backoff (plus transit costs).
+    assert elapsed_us >= 2 * 1_000.0 + 40_000.0

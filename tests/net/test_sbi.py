@@ -40,3 +40,43 @@ def test_paka_paths_are_versioned_and_distinct():
     assert len(paths) == 4
     for path in paths:
         assert "/v1/" in path
+
+
+def test_profile_roundtrip_with_empty_services_and_metadata():
+    profile = NFProfile(
+        nf_instance_id="amf-0001",
+        nf_type=NFType.AMF,
+        endpoint_name="amf",
+    )
+    data = profile.to_dict()
+    assert data["services"] == [] and data["metadata"] == {}
+    assert NFProfile.from_dict(data) == profile
+
+
+def test_profile_from_dict_tolerates_missing_optionals():
+    restored = NFProfile.from_dict(
+        {"nfInstanceId": "smf-1", "nfType": "SMF", "endpoint": "smf"}
+    )
+    assert restored.services == []
+    assert restored.metadata == {}
+
+
+def test_profile_from_dict_coerces_nonstring_values():
+    restored = NFProfile.from_dict(
+        {
+            "nfInstanceId": 42,
+            "nfType": "UPF",
+            "endpoint": "upf",
+            "services": ["a", 7],
+            "metadata": {"capacity": 100, 5: True},
+        }
+    )
+    assert restored.nf_instance_id == "42"
+    assert restored.services == ["a", "7"]
+    assert restored.metadata == {"capacity": "100", "5": "True"}
+    # Coerced profiles survive a second round-trip unchanged.
+    assert NFProfile.from_dict(restored.to_dict()) == restored
+
+
+def test_health_path_registered():
+    assert sbi.NF_HEALTH.startswith("/nnrf-nfm/")

@@ -85,6 +85,39 @@ def test_sqn_too_far_ahead_triggers_resync():
     assert result.cause == "SYNCH_FAILURE"
 
 
+def test_sqn_wraparound_accepted():
+    """Annex C.2 freshness is modular: a challenge whose SQN wrapped past
+    2^48 is still inside the window of a USIM parked just below it."""
+    top = (1 << 48) - 2
+    usim = make_usim(sqn_ms=top)
+    he_av = challenge(sqn=(top + 5) % (1 << 48))  # wraps to 3
+    result = usim.authenticate(he_av.rand, he_av.autn, SNN)
+    assert result.success
+    assert usim.sqn_ms == 3
+
+
+def test_sqn_wraparound_still_rejects_replay():
+    """The modular window must not accept *everything* near the wrap:
+    an SQN equal to (or modularly behind) SQN_MS is still a replay."""
+    top = (1 << 48) - 1
+    usim = make_usim(sqn_ms=3)
+    he_av = challenge(sqn=top)  # delta = 2^48 - 4 mod 2^48: far outside Δ
+    result = usim.authenticate(he_av.rand, he_av.autn, SNN)
+    assert not result.success
+    assert result.cause == "SYNCH_FAILURE"
+
+
+def test_sqn_wraparound_resync_round_trip():
+    """AUTS built at the top of the counter still recovers SQN_MS."""
+    top = (1 << 48) - 1
+    usim = make_usim(sqn_ms=top)
+    he_av = challenge(sqn=(top + Usim.SQN_DELTA + 10) % (1 << 48))  # too far
+    result = usim.authenticate(he_av.rand, he_av.autn, SNN)
+    assert result.cause == "SYNCH_FAILURE"
+    recovered = verify_auts(K, OPC, he_av.rand, result.auts)
+    assert recovered == top
+
+
 def test_auts_recovers_sqn_ms_at_home_network():
     usim = make_usim(sqn_ms=77)
     he_av = challenge(sqn=10)  # stale
