@@ -145,6 +145,111 @@ def _cmd_register(args: argparse.Namespace) -> int:
     return 0 if successes == args.count else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Trace one registration and print the span tree + breakdown."""
+    import json
+
+    from repro.obs.trace import format_span_tree
+    from repro.paka.deploy import IsolationMode
+    from repro.testbed import Testbed, TestbedConfig
+
+    isolation = None if args.isolation == "monolithic" else IsolationMode(args.isolation)
+    testbed = Testbed.build(TestbedConfig(isolation=isolation, seed=args.seed))
+    for _ in range(args.warmup):
+        testbed.register(testbed.add_subscriber())
+    trace = testbed.trace_registration()
+    if args.json:
+        payload = {
+            "outcome": {
+                "success": trace.outcome.success,
+                "session_setup_ms": trace.outcome.session_setup_ms,
+                "nas_exchanges": trace.outcome.nas_exchanges,
+            },
+            "breakdown": trace.breakdown,
+            "stats_delta": {
+                name: {
+                    "eenters": delta.eenters,
+                    "eexits": delta.eexits,
+                    "ocalls": delta.ocalls,
+                    "aexs": delta.aexs,
+                }
+                for name, delta in trace.stats_delta.items()
+            },
+            "spans": trace.root.to_dict(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if trace.outcome.success else 1
+    print("\n".join(format_span_tree(trace.root)))
+    if trace.breakdown:
+        print()
+        print("Per-module decomposition (Fig 9 / Table II / Table III):")
+        header = (
+            f"  {'module':<8} {'L_F us':>9} {'L_T us':>9} {'L_N us':>9} "
+            f"{'R us':>9} {'EENTER':>7} {'EEXIT':>7}"
+        )
+        print(header)
+        for module, row in trace.breakdown.items():
+            print(
+                f"  {module:<8} {row['lf_us']:>9.2f} {row['lt_us']:>9.2f} "
+                f"{row['ln_us']:>9.2f} {row['r_us']:>9.2f} "
+                f"{row['eenters']:>7} {row['eexits']:>7}"
+            )
+    return 0 if trace.outcome.success else 1
+
+
+def _metrics_selftest() -> int:
+    """Round-trip self-check used by CI: exporters must parse back."""
+    from repro.obs.export import (
+        parse_prometheus_text,
+        registry_from_dict,
+        registry_to_dict,
+        registry_to_json,
+        registry_to_prometheus_text,
+    )
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.counter("selftest_requests_total", server="eamf-paka-srv-0").inc(42)
+    registry.gauge("selftest_open", nf="amf").set(1.0)
+    histogram = registry.histogram("selftest_latency_us", component="eudm")
+    for value in (10.0, 20.0, 30.0, 40.0):
+        histogram.observe(value)
+
+    rebuilt = registry_from_dict(registry_to_dict(registry))
+    if registry_to_json(rebuilt) != registry_to_json(registry):
+        print("selftest FAILED: JSON round-trip mismatch", file=sys.stderr)
+        return 1
+    samples = parse_prometheus_text(registry_to_prometheus_text(registry))
+    key = ("selftest_requests_total", (("server", "eamf-paka-srv-0"),))
+    if samples.get(key) != 42.0:
+        print("selftest FAILED: Prometheus round-trip mismatch", file=sys.stderr)
+        return 1
+    print("metrics selftest OK "
+          f"({len(registry)} metrics, {len(samples)} Prometheus samples)")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run registrations and export the testbed's metrics registry."""
+    if args.selftest:
+        return _metrics_selftest()
+
+    from repro.obs.export import registry_to_json, registry_to_prometheus_text
+    from repro.paka.deploy import IsolationMode
+    from repro.testbed import Testbed, TestbedConfig
+
+    isolation = None if args.isolation == "monolithic" else IsolationMode(args.isolation)
+    testbed = Testbed.build(TestbedConfig(isolation=isolation, seed=args.seed))
+    for _ in range(args.registrations):
+        testbed.register(testbed.add_subscriber())
+    registry = testbed.collect_metrics()
+    if args.format == "prom":
+        print(registry_to_prometheus_text(registry), end="")
+    else:
+        print(registry_to_json(registry))
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     report = _run_experiment(args.command, args)
     print(report.format())
@@ -180,6 +285,45 @@ def build_parser() -> argparse.ArgumentParser:
     register.add_argument("--count", type=int, default=1)
     register.add_argument("--seed", type=int, default=0)
 
+    trace = sub.add_parser(
+        "trace",
+        help="trace one registration: span tree + Fig 9 / Table III breakdown",
+    )
+    trace.add_argument(
+        "--isolation",
+        choices=["monolithic", "container", "sgx", "secure-vm"],
+        default="sgx",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--warmup", type=int, default=1,
+        help="untraced registrations before the traced one (steady state)",
+    )
+    trace.add_argument(
+        "--json", action="store_true",
+        help="emit the span tree and breakdown as JSON",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run registrations and export the metrics registry",
+    )
+    metrics.add_argument(
+        "--isolation",
+        choices=["monolithic", "container", "sgx", "secure-vm"],
+        default="sgx",
+    )
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument("--registrations", type=int, default=3)
+    metrics.add_argument(
+        "--format", choices=["json", "prom"], default="json",
+        help="export format: JSON document or Prometheus exposition text",
+    )
+    metrics.add_argument(
+        "--selftest", action="store_true",
+        help="exporter round-trip self-check (no testbed; used by CI)",
+    )
+
     for name, description in _EXPERIMENTS.items():
         experiment = sub.add_parser(name, help=description)
         experiment.add_argument("--registrations", type=int, default=60)
@@ -205,6 +349,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_list(args)
         if args.command == "register":
             return _cmd_register(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "metrics":
+            return _cmd_metrics(args)
         return _cmd_experiment(args)
     except BrokenPipeError:  # output piped into head/less and closed
         return 0

@@ -21,7 +21,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.experiments.harness import BandCheck, ExperimentReport, warmed_testbed
-from repro.experiments.stats import summarize
+from repro.experiments.stats import percentiles, summarize
 from repro.faults import BASELINE_RATES, DEFAULT_SBI_RETRY, FaultInjector, FaultPlan
 from repro.paka.deploy import IsolationMode
 
@@ -31,12 +31,18 @@ NS_PER_S = 1_000_000_000
 DEFAULT_FACTORS = (0.0, 1.0, 2.0, 4.0)
 
 
-def _percentiles_ms(latencies_ms: Sequence[float]) -> Dict[str, float]:
-    array = np.asarray(latencies_ms, dtype=float)
+def _percentiles_ms(latencies_ms: Sequence[float]) -> Dict[str, object]:
+    """Tail-latency row fields; ``None`` values when there are no samples.
+
+    An all-failures arm (every registration refused before a latency was
+    measured) must still produce a row — ``success_rate=0`` with absent
+    percentiles — instead of crashing ``np.percentile`` on an empty array.
+    """
+    p50, p95, p99 = percentiles(latencies_ms, (50, 95, 99))
     return {
-        "p50_ms": round(float(np.percentile(array, 50)), 3),
-        "p95_ms": round(float(np.percentile(array, 95)), 3),
-        "p99_ms": round(float(np.percentile(array, 99)), 3),
+        "p50_ms": None if p50 is None else round(p50, 3),
+        "p95_ms": None if p95 is None else round(p95, 3),
+        "p99_ms": None if p99 is None else round(p99, 3),
     }
 
 
@@ -95,7 +101,7 @@ def _run_arm(
         "fault_windows": len(plan.windows),
         "attempts": registrations,
         "successes": successes,
-        "success_rate": round(successes / registrations, 4),
+        "success_rate": round(successes / registrations, 4) if registrations else 0.0,
         "retries": retries,
         "timeouts": timeouts,
         "reconnects": reconnects,
@@ -130,11 +136,14 @@ def availability_experiment(
     by_factor = {row["fault_factor"]: row for row in rows}
     for row in rows:
         label = f"x{row['fault_factor']:g}"
-        report.series[f"latency_ms_{label}"] = summarize(
-            f"registration latency {label}", row.pop("latencies_ms"), "ms"
-        )
+        latencies = row.pop("latencies_ms")
+        if latencies:
+            report.series[f"latency_ms_{label}"] = summarize(
+                f"registration latency {label}", latencies, "ms"
+            )
         for key in ("success_rate", "p95_ms", "retries"):
-            report.derived[f"{key}_{label}"] = float(row[key])
+            if row[key] is not None:
+                report.derived[f"{key}_{label}"] = float(row[key])
         report.rows.append(row)
 
     control = by_factor[min(by_factor)]
@@ -160,13 +169,14 @@ def availability_experiment(
             low=0.05, high=0.98,
         )
     )
-    report.checks.append(
-        BandCheck(
-            name="max-fault arm tail latency inflation (p95 ratio)",
-            measured=float(worst["p95_ms"]) / float(control["p95_ms"]),
-            low=1.0, high=1e6,
+    if worst["p95_ms"] is not None and control["p95_ms"]:
+        report.checks.append(
+            BandCheck(
+                name="max-fault arm tail latency inflation (p95 ratio)",
+                measured=float(worst["p95_ms"]) / float(control["p95_ms"]),
+                low=1.0, high=1e6,
+            )
         )
-    )
     report.checks.append(
         BandCheck(
             name="every arm recovers once faults clear",

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -33,6 +33,21 @@ class SeriesSummary:
             f"IQR=[{self.p25:.2f}, {self.p75:.2f}] sd={self.stdev:.2f} "
             f"n={self.n} ({self.unit})"
         )
+
+
+def percentiles(values: Sequence[float], qs: Sequence[float]) -> List[Optional[float]]:
+    """``np.percentile`` guarded against empty input.
+
+    ``np.percentile`` raises on an empty array, which turns a legitimate
+    degenerate measurement (e.g. an all-failures fault arm with no
+    latency samples) into a crash.  Returns ``None`` per requested
+    quantile when there are no samples — ``None`` survives JSON export,
+    unlike NaN.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return [None] * len(qs)
+    return [float(q) for q in np.percentile(array, list(qs))]
 
 
 def summarize(name: str, values: Sequence[float], unit: str) -> SeriesSummary:

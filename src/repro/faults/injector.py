@@ -44,6 +44,21 @@ class FaultInjector:
         self.requests_refused = 0
         self.storm_aexs_booked = 0
 
+    # -------------------------------------------------------------- metrics
+
+    def collect_metrics(self, registry) -> None:
+        """Snapshot injector accounting into a ``repro.obs`` registry."""
+        labels = {"plan_seed": str(self.plan.seed)}
+        registry.counter("fault_frames_dropped_total", **labels).set(
+            self.frames_dropped
+        )
+        registry.counter("fault_requests_refused_total", **labels).set(
+            self.requests_refused
+        )
+        registry.counter("fault_storm_aexs_total", **labels).set(
+            self.storm_aexs_booked
+        )
+
     # ------------------------------------------------------------ lifecycle
 
     def arm(self) -> "FaultInjector":

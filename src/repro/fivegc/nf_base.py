@@ -211,6 +211,26 @@ class NetworkFunction:
         except KeyError:
             raise RuntimeError(f"{self.name}: no bound peer of type {nf_type.value}")
 
+    # ------------------------------------------------------------- metrics
+
+    def collect_metrics(self, registry) -> None:
+        """Snapshot this VNF (server, client, breakers) into a registry."""
+        self.server.collect_metrics(registry)
+        self.client.collect_metrics(registry)
+        for peer_name, breaker in sorted(self.circuit_breakers.items()):
+            labels = {"nf": self.name, "peer": peer_name}
+            # Passive reads only: breaker.allow() would book a fast
+            # failure, and collection must never perturb the simulation.
+            registry.gauge("circuit_breaker_open", **labels).set(
+                1.0 if breaker.open else 0.0
+            )
+            registry.counter("circuit_breaker_opens_total", **labels).set(
+                breaker.times_opened
+            )
+            registry.counter("circuit_breaker_fast_failures_total", **labels).set(
+                breaker.fast_failures
+            )
+
     # ----------------------------------------------------------- lifecycle
 
     def shutdown(self) -> None:

@@ -87,6 +87,11 @@ class GramineEnclaveRuntime(Runtime):
         # spend_cycles sequence would round them (see Cpu.round_cycle_cost),
         # plus the hot RNG streams resolved once instead of per syscall.
         self._spec_costs: Dict[Tuple[str, int, int], Tuple[int, int, int, int]] = {}
+        # Per-spec (shield_ns, copy_ns, host_ns, exitless_ns) decomposition
+        # for span tags — only populated when a tracer is installed.
+        self._trace_component_ns: Dict[
+            Tuple[str, int, int], Tuple[int, int, int, int]
+        ] = {}
         self._transition_stream = host.rng.stream(f"{enclave.build.name}.transition")
 
     # ----------------------------------------------------------- lifecycle
@@ -234,6 +239,11 @@ class GramineEnclaveRuntime(Runtime):
             shield[1] + exitless[1],
         )
         self._spec_costs[spec] = cost
+        # Keep the span-tag decomposition in lockstep with the fused cost
+        # so traced components always sum to the charged deterministic ns.
+        self._trace_component_ns[spec] = (
+            shield[1], copy_out[1] + copy_in[1], host[1], exitless[1]
+        )
         return cost
 
     def syscall(self, name: str, bytes_out: int = 0, bytes_in: int = 0) -> None:
@@ -251,6 +261,22 @@ class GramineEnclaveRuntime(Runtime):
         cost = self._spec_costs.get(spec)
         if cost is None:
             cost = self._spec_cost(spec)
+        # Span tracing (repro.obs): one span per OCALL tagged with the
+        # paper's cost taxonomy.  The untraced hot path pays only the
+        # attribute read and None check (~1080 OCALLs per registration).
+        tracer = self.host.tracer
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        span = None
+        if tracer is not None:
+            components = self._trace_component_ns.get(spec)
+            if components is None:
+                self._spec_cost(spec)
+                components = self._trace_component_ns[spec]
+            span = tracer.begin(
+                name, kind="sgx.ocall",
+                runtime=self.name, enclave=self.enclave.build.name,
+            )
         self._epc_pressure()
         enclave = self.enclave
         stats = enclave.stats
@@ -263,6 +289,11 @@ class GramineEnclaveRuntime(Runtime):
             stats.ocalls += 1
             by_syscall = stats.ocalls_by_syscall
             by_syscall[name] = by_syscall.get(name, 0) + 1
+            if span is not None:
+                tracer.end(
+                    span, exitless=True,
+                    shield_ns=components[0], host_ns=components[3],
+                )
         else:
             # EEXIT + boundary copy-out + host work + EENTER + copy-in,
             # with the (EENTER, EEXIT) pair drawn per call as always.
@@ -288,6 +319,13 @@ class GramineEnclaveRuntime(Runtime):
                 host.clock.now_ns, "sgx.ocall",
                 enclave=enclave.build.name, syscall=name,
             )
+            if span is not None:
+                tracer.end(
+                    span,
+                    shield_ns=components[0], copy_ns=components[1],
+                    host_ns=components[2],
+                    transition_ns=enter_cost[1] + exit_cost[1],
+                )
 
     def touch_pages(self, cold: int = 0, new: int = 0) -> None:
         # The integrity-tree depth grows with the resident set, making

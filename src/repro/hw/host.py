@@ -9,13 +9,16 @@ to be co-located with its parent VNF on the same host.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.hw.cpu import Cpu, CpuSpec, XEON_SILVER_4314
 from repro.hw.memory import Ram
 from repro.sim.clock import SimClock
 from repro.sim.events import EventLog
 from repro.sim.rng import RngService
+
+if TYPE_CHECKING:  # avoid a runtime import cycle with repro.obs
+    from repro.obs.trace import Tracer
 
 
 @dataclass
@@ -28,6 +31,11 @@ class PhysicalHost:
     events: EventLog
     cpus: List[Cpu] = field(default_factory=list)
     ram: Optional[Ram] = None
+    # Registration-scoped span tracing (repro.obs).  None (the default)
+    # disables tracing at the cost of one attribute read per hook; an
+    # installed tracer records span trees without advancing the clock,
+    # so traced runs stay bit-identical in simulated time.
+    tracer: Optional["Tracer"] = field(default=None, repr=False)
 
     @property
     def cpu(self) -> Cpu:

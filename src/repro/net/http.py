@@ -355,40 +355,74 @@ class HttpServer:
         if self.fault_gate is not None:
             self.fault_gate(self)
         runtime = self.runtime
-        clock = runtime.host.clock
+        host = runtime.host
+        clock = host.clock
+        # Span tracing (repro.obs): spans open/close at the same clock
+        # reads the measure() windows use, so traced L_F/L_T values are
+        # bit-identical to the metric series below.  ``tracer is None``
+        # (the default) keeps this a two-comparison hot path.
+        tracer = host.tracer
+        if tracer is not None and not tracer.enabled:
+            tracer = None
 
         # First-request lazy initialization (Fig 10b's initial response).
         warmup = getattr(runtime, "lazy_warmup", None)
         if warmup is not None:
             warmup()
 
-        # The busy window wraps L_T plus the reactor chatter after it;
-        # nesting the with-blocks keeps spans closed LIFO even when a
-        # handler raises (the error path must not leak an open span).
-        with clock.measure() as busy_span:
-            with clock.measure() as lt_span:
-                self._run_profile(self.profile.in_window_pre)
-                runtime.compute(
-                    self.tls_cost.record_cycles(len(protected_request))
+        srv_trace = (
+            tracer.begin(self.name, kind="sbi.server", server=self.name)
+            if tracer is not None else None
+        )
+        try:
+            # The busy window wraps L_T plus the reactor chatter after it;
+            # nesting the with-blocks keeps spans closed LIFO even when a
+            # handler raises (the error path must not leak an open span).
+            with clock.measure() as busy_span:
+                lt_trace = (
+                    tracer.begin("window", kind="L_T")
+                    if tracer is not None else None
                 )
-                raw = connection.server_tls.unprotect(protected_request)
-                request = HttpRequest.from_wire(raw)
-                runtime.compute(
-                    self.profile.parse_fixed_cycles
-                    + self.profile.parse_per_byte_cycles * len(raw)
-                )
-                handler = self._resolve(request.method, request.path)
-                context = HandlerContext(self)
-                with clock.measure() as lf_span:
-                    response = handler(request, context)
-                response_raw = response.wire_bytes()
-                runtime.compute(self.tls_cost.record_cycles(len(response_raw)))
-                protected_response = connection.server_tls.protect(response_raw)
-                self._run_profile(self.profile.in_window_post)
+                try:
+                    with clock.measure() as lt_span:
+                        self._run_profile(self.profile.in_window_pre)
+                        runtime.compute(
+                            self.tls_cost.record_cycles(len(protected_request))
+                        )
+                        raw = connection.server_tls.unprotect(protected_request)
+                        request = HttpRequest.from_wire(raw)
+                        runtime.compute(
+                            self.profile.parse_fixed_cycles
+                            + self.profile.parse_per_byte_cycles * len(raw)
+                        )
+                        handler = self._resolve(request.method, request.path)
+                        context = HandlerContext(self)
+                        lf_trace = (
+                            tracer.begin(request.path, kind="L_F", path=request.path)
+                            if tracer is not None else None
+                        )
+                        try:
+                            with clock.measure() as lf_span:
+                                response = handler(request, context)
+                        finally:
+                            if lf_trace is not None:
+                                tracer.end(lf_trace)
+                        response_raw = response.wire_bytes()
+                        runtime.compute(self.tls_cost.record_cycles(len(response_raw)))
+                        protected_response = connection.server_tls.protect(response_raw)
+                        self._run_profile(self.profile.in_window_post)
+                finally:
+                    if lt_trace is not None:
+                        tracer.end(lt_trace)
 
-            # Reactor chatter around the request (outside the L_T window
-            # but inside the client's response-time window).
-            self._run_profile(self.profile.out_of_window)
+                # Reactor chatter around the request (outside the L_T window
+                # but inside the client's response-time window).
+                self._run_profile(self.profile.out_of_window)
+        finally:
+            if srv_trace is not None:
+                tracer.end(srv_trace)
+        if srv_trace is not None:
+            srv_trace.tags.update(path=request.path, status=response.status)
 
         self.busy_us.append(busy_span.us)
         self.lf_us.append(lf_span.us)
@@ -401,6 +435,33 @@ class HttpServer:
         self.lt_us_by_path[request.path].append(lt_span.us)
         self.requests_served += 1
         return protected_response
+
+    # ------------------------------------------------------------- metrics
+
+    def collect_metrics(self, registry, component: Optional[str] = None) -> None:
+        """Snapshot this server into a ``repro.obs`` registry (pull).
+
+        Latency histograms *adopt* the live BoundedSeries — no copying,
+        and the registry sees every later request for free.  ``component``
+        adds a label for P-AKA modules (eamf/eausf/eudm).
+        """
+        labels = {"server": self.name}
+        if component is not None:
+            labels["component"] = component
+        registry.counter("http_requests_served_total", **labels).set(
+            self.requests_served
+        )
+        registry.histogram_from_series("http_lf_us", self.lf_us, **labels)
+        registry.histogram_from_series("http_lt_us", self.lt_us, **labels)
+        registry.histogram_from_series("http_busy_us", self.busy_us, **labels)
+        for path, series in sorted(self.lf_us_by_path.items()):
+            registry.histogram_from_series(
+                "http_lf_us_by_path", series, path=path, **labels
+            )
+        for path, series in sorted(self.lt_us_by_path.items()):
+            registry.histogram_from_series(
+                "http_lt_us_by_path", series, path=path, **labels
+            )
 
 
 @dataclass
@@ -527,16 +588,49 @@ class HttpClient:
         """A single request/response attempt with an optional deadline."""
         if not connection.open:
             raise HttpError("connection is closed")
-        clock = self.runtime.host.clock
+        host = self.runtime.host
+        clock = host.clock
         request = HttpRequest(
             method=method, path=path, body=body, headers=headers or {}
         )
-        self.runtime.host.events.emit(
+        host.events.emit(
             clock.timestamp(), "sbi.request",
             src=self.name, dst=connection.server.name,
             method=method, path=path,
         )
         raw = request.wire_bytes()
+        tracer = host.tracer
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        # The span opens at the same clock read the R measure() window
+        # uses and closes with no advance in between, so the traced
+        # ``r_us`` tag is bit-identical to ``response_times_us``.
+        req_trace = (
+            tracer.begin(
+                path, kind="sbi.request",
+                src=self.name, dst=connection.server.name,
+                method=method, path=path,
+            )
+            if tracer is not None else None
+        )
+        try:
+            return self._attempt_traced(
+                connection, request, raw, timeout_us, req_trace
+            )
+        finally:
+            if req_trace is not None:
+                tracer.end(req_trace)
+
+    def _attempt_traced(
+        self,
+        connection: HttpConnection,
+        request: HttpRequest,
+        raw: bytes,
+        timeout_us: Optional[float],
+        req_trace: Optional[object],
+    ) -> HttpResponse:
+        clock = self.runtime.host.clock
+        method, path = request.method, request.path
         start_ns = clock.now_ns
         with clock.measure() as r_span:
             try:
@@ -580,6 +674,8 @@ class HttpClient:
         self.response_times_by_server.setdefault(
             connection.server.name, []
         ).append(r_span.us)
+        if req_trace is not None:
+            req_trace.tags["r_us"] = r_span.us
         return HttpResponse.from_wire(response_raw)
 
     def _reconnect(self, connection: HttpConnection) -> None:
@@ -600,3 +696,28 @@ class HttpClient:
             self.runtime.syscall("shutdown")
             self.runtime.syscall("close")
             connection.open = False
+
+    # ------------------------------------------------------------- metrics
+
+    def collect_metrics(self, registry) -> None:
+        """Snapshot this client into a ``repro.obs`` registry (pull).
+
+        Response times live in plain lists, so histograms are fed
+        incrementally (only samples past the histogram's current count),
+        making repeated collection into the same registry idempotent.
+        """
+        labels = {"client": self.name}
+        registry.counter("http_client_retries_total", **labels).set(self.retries)
+        registry.counter("http_client_timeouts_total", **labels).set(self.timeouts)
+        registry.counter("http_client_reconnects_total", **labels).set(
+            self.reconnects
+        )
+        histogram = registry.histogram("http_client_response_us", **labels)
+        for value in self.response_times_us[histogram.count:]:
+            histogram.observe(value)
+        for server, values in sorted(self.response_times_by_server.items()):
+            per_server = registry.histogram(
+                "http_client_response_us_by_server", server=server, **labels
+            )
+            for value in values[per_server.count:]:
+                per_server.observe(value)

@@ -1,0 +1,63 @@
+"""Observability: structured tracing and metrics for the reproduction.
+
+The paper's whole evaluation is a latency decomposition — ``L_T = L_F +
+L_N`` (Fig 9, Table II), client-observed response time (Fig 10) and
+per-registration SGX transition counts (Table III).  This package makes
+that decomposition a first-class artifact instead of experiment-script
+arithmetic:
+
+* :mod:`repro.obs.trace` — a :class:`Tracer` that attaches a span tree
+  to each UE registration (NAS exchange → SBI hop → enclave OCALL),
+  tagging spans with the paper's cost taxonomy so one trace reproduces
+  the Table II ratios and Table III counts directly,
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and bounded histograms built on the exact
+  :class:`~repro.sim.metrics.RunningStats` primitives,
+* :mod:`repro.obs.export` — JSON and Prometheus-text exporters (with
+  parsers, so round-trips are testable),
+* :mod:`repro.obs.collect` — assembles a registry from a live testbed
+  and records one-registration traces.
+
+Tracing is **zero-cost in simulated time** (spans only read the clock,
+never advance it) and near-zero in host time when disabled: every hook
+is a single ``host.tracer is None`` check.
+"""
+
+from repro.obs.export import (
+    parse_prometheus_text,
+    registry_from_dict,
+    registry_to_dict,
+    registry_to_json,
+    registry_to_prometheus_text,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    Span,
+    SpanNestingError,
+    Tracer,
+    registration_breakdown,
+)
+from repro.obs.collect import (
+    RegistrationTrace,
+    collect_testbed_metrics,
+    trace_registration,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RegistrationTrace",
+    "Span",
+    "SpanNestingError",
+    "Tracer",
+    "collect_testbed_metrics",
+    "parse_prometheus_text",
+    "registration_breakdown",
+    "registry_from_dict",
+    "registry_to_dict",
+    "registry_to_json",
+    "registry_to_prometheus_text",
+    "trace_registration",
+]

@@ -1,0 +1,173 @@
+"""Counters, gauges and bounded histograms behind one registry.
+
+The primitives deliberately reuse :class:`~repro.sim.metrics.RunningStats`
+and :class:`~repro.sim.metrics.BoundedSeries`: histogram aggregates stay
+exact over every observation ever made while the raw window is bounded,
+which is the same retention contract the HTTP servers already use for
+their latency series.  A histogram can also *adopt* a live
+``BoundedSeries`` (``registry.histogram_from_series``), so collection
+from a running testbed is a pull — zero cost on the simulation hot path.
+
+Metrics are identified by ``(name, labels)``; ``registry.counter(...)``
+is get-or-create, so instrumentation code never needs to pre-declare.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.experiments.stats import percentiles
+from repro.sim.metrics import BoundedSeries
+
+LabelItems = Tuple[Tuple[str, str], ...]
+MetricKey = Tuple[str, LabelItems]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        self.value += amount
+
+    def set(self, value: int) -> None:
+        """Snapshot-style assignment (pull collection from live objects)."""
+        if value < self.value:
+            raise ValueError(
+                f"counter {self.name} cannot decrease ({self.value} -> {value})"
+            )
+        self.value = value
+
+
+class Gauge:
+    """A point-in-time value that may move either way."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Distribution metric over a (possibly adopted) bounded window."""
+
+    __slots__ = ("name", "labels", "series")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems,
+        cap: Optional[int] = None,
+        series: Optional[BoundedSeries] = None,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.series = series if series is not None else BoundedSeries(cap)
+
+    def observe(self, value: float) -> None:
+        self.series.append(value)
+
+    # Aggregates are exact over everything ever observed; quantiles come
+    # from the retained window (all observations when uncapped).
+    @property
+    def count(self) -> int:
+        return self.series.stats.count
+
+    @property
+    def total(self) -> float:
+        return self.series.stats.total
+
+    @property
+    def mean(self) -> float:
+        return self.series.stats.mean
+
+    @property
+    def minimum(self) -> Optional[float]:
+        return self.series.stats.minimum
+
+    @property
+    def maximum(self) -> Optional[float]:
+        return self.series.stats.maximum
+
+    def quantiles(self, qs: Tuple[float, ...] = (50.0, 95.0, 99.0)):
+        return percentiles(list(self.series), qs)
+
+
+class MetricsRegistry:
+    """Get-or-create home of every metric, iterable for export."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[MetricKey, Counter] = {}
+        self._gauges: Dict[MetricKey, Gauge] = {}
+        self._histograms: Dict[MetricKey, Histogram] = {}
+
+    # ------------------------------------------------------------ create
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = (name, _label_key(labels))
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter(name, key[1])
+        return metric
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = (name, _label_key(labels))
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge(name, key[1])
+        return metric
+
+    def histogram(
+        self, name: str, cap: Optional[int] = None, **labels: str
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram(name, key[1], cap=cap)
+        return metric
+
+    def histogram_from_series(
+        self, name: str, series: BoundedSeries, **labels: str
+    ) -> Histogram:
+        """Adopt a live series (pull collection; no copy, no hot-path cost)."""
+        key = (name, _label_key(labels))
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram(name, key[1], series=series)
+        return metric
+
+    # ----------------------------------------------------------- iterate
+
+    def counters(self) -> List[Counter]:
+        return [self._counters[key] for key in sorted(self._counters)]
+
+    def gauges(self) -> List[Gauge]:
+        return [self._gauges[key] for key in sorted(self._gauges)]
+
+    def histograms(self) -> List[Histogram]:
+        return [self._histograms[key] for key in sorted(self._histograms)]
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def __iter__(self) -> Iterator[object]:
+        yield from self.counters()
+        yield from self.gauges()
+        yield from self.histograms()

@@ -1,0 +1,265 @@
+"""Registration-scoped span trees over the simulated clock.
+
+A :class:`Span` is an interval of *simulated* time with a name, a kind
+from the paper's cost taxonomy, free-form tags and children.  The
+:class:`Tracer` maintains the open-span stack; instrumentation points
+(the gNB registration loop, the HTTP client/server, the Gramine OCALL
+path) call :meth:`Tracer.begin`/:meth:`Tracer.end` around the clock
+reads they already make, so span boundaries are **bit-identical** to the
+``clock.measure()`` windows the experiment series record.
+
+Span kinds (the taxonomy):
+
+``registration``
+    Root: one UE's full registration through the gNB.
+``nas``
+    One NAS uplink/downlink exchange (air + N2 + AMF handling).
+``sbi.request``
+    A client-observed SBI exchange — the paper's response time ``R``.
+``sbi.server``
+    The server's busy window around one request (L_T + reactor chatter).
+``L_T``
+    The request-received → response-sent window (the paper's total
+    latency).  ``L_N = L_T - L_F`` is derived, never measured twice.
+``L_F``
+    The handler invocation (the paper's functional latency).
+``sgx.ocall``
+    One shielded syscall: EEXIT + host work + EENTER.  Tagged with the
+    rounded cost components ``shield_ns`` / ``copy_ns`` / ``host_ns`` /
+    ``transition_ns`` (``rpc_ns`` in exitless mode).
+
+Tracing never advances the clock — a traced run spends exactly the same
+simulated nanoseconds as an untraced one.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+from repro.sim.clock import NS_PER_US, SimClock
+
+
+class SpanNestingError(RuntimeError):
+    """A span was closed out of LIFO order (see
+    :class:`~repro.sim.clock.MeasurementNestingError` for the clock-side
+    twin of this invariant)."""
+
+
+class Span:
+    """One interval of simulated time in a registration's span tree."""
+
+    __slots__ = ("name", "kind", "start_ns", "end_ns", "tags", "children")
+
+    def __init__(self, name: str, kind: str, start_ns: int, **tags: Any) -> None:
+        self.name = name
+        self.kind = kind
+        self.start_ns = start_ns
+        self.end_ns = start_ns
+        self.tags: Dict[str, Any] = tags
+        self.children: List["Span"] = []
+
+    @property
+    def ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def us(self) -> float:
+        return self.ns / NS_PER_US
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first, in start order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, kind: str) -> List["Span"]:
+        """All descendants (including self) of the given kind."""
+        return [span for span in self.walk() if span.kind == kind]
+
+    def child_of_kind(self, kind: str) -> Optional["Span"]:
+        for child in self.children:
+            if child.kind == kind:
+                return child
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready tree form."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "tags": dict(self.tags),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.name!r}, kind={self.kind!r}, us={self.us:.2f}, "
+            f"children={len(self.children)})"
+        )
+
+
+class Tracer:
+    """Builds span trees from begin/end calls against one clock.
+
+    Hot paths guard with ``tracer is not None and tracer.enabled`` — a
+    disabled tracer (or the default ``host.tracer = None``) costs one
+    attribute read and one comparison per instrumentation point.
+    """
+
+    def __init__(self, clock: SimClock, enabled: bool = True) -> None:
+        self.clock = clock
+        self.enabled = enabled
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    # ------------------------------------------------------------- spans
+
+    def begin(self, name: str, kind: str = "", **tags: Any) -> Span:
+        """Open a span at the current simulated instant."""
+        span = Span(name, kind, self.clock.now_ns, **tags)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span, **tags: Any) -> Span:
+        """Close ``span`` at the current instant; spans close LIFO."""
+        popped = self._stack.pop() if self._stack else None
+        if popped is not span:
+            raise SpanNestingError(
+                f"span {span.name!r} closed out of order; innermost open "
+                f"span is {popped!r}"
+            )
+        span.end_ns = self.clock.now_ns
+        if tags:
+            span.tags.update(tags)
+        return span
+
+    @contextmanager
+    def span(self, name: str, kind: str = "", **tags: Any) -> Iterator[Span]:
+        opened = self.begin(name, kind, **tags)
+        try:
+            yield opened
+        finally:
+            self.end(opened)
+
+    # --------------------------------------------------------- lifecycle
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def clear(self) -> None:
+        if self._stack:
+            raise SpanNestingError(
+                f"clear() with {len(self._stack)} span(s) still open"
+            )
+        self.roots.clear()
+
+
+def registration_breakdown(
+    root: Span,
+    module_servers: Mapping[str, str],
+    module_runtimes: Optional[Mapping[str, str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Decompose one registration trace into the paper's tables.
+
+    ``module_servers`` maps module short names (``eudm`` …) to their HTTP
+    server names; ``module_runtimes`` maps them to enclave runtime names
+    (the ``runtime`` tag on ``sgx.ocall`` spans).  Returns, per module::
+
+        {"lf_us": ..., "lt_us": ..., "ln_us": ...,      # Fig 9 / Table II
+         "r_us": ...,                                    # Fig 10
+         "eenters": ..., "eexits": ..., "ocalls": ...,   # Table III
+         "shield_us": ..., "copy_us": ..., "host_us": ...,
+         "transition_us": ...}                           # L_N taxonomy
+
+    L_F and L_T are the handler and receive-to-send window spans — the
+    exact values the servers' metric series record; ``L_N`` is their
+    difference, which is how the paper defines it.
+    """
+    server_to_module = {server: module for module, server in module_servers.items()}
+    runtime_to_module = {
+        runtime: module for module, runtime in (module_runtimes or {}).items()
+    }
+    breakdown: Dict[str, Dict[str, float]] = {
+        module: {
+            "lf_us": 0.0, "lt_us": 0.0, "ln_us": 0.0, "r_us": 0.0,
+            "requests": 0, "eenters": 0, "eexits": 0, "ocalls": 0,
+            "shield_us": 0.0, "copy_us": 0.0, "host_us": 0.0,
+            "transition_us": 0.0,
+        }
+        for module in module_servers
+    }
+
+    for span in root.walk():
+        if span.kind == "sbi.server":
+            module = server_to_module.get(str(span.tags.get("server")))
+            if module is None:
+                continue
+            row = breakdown[module]
+            lt_span = span.child_of_kind("L_T")
+            if lt_span is None:
+                continue
+            lf_span = lt_span.child_of_kind("L_F")
+            row["requests"] += 1
+            row["lt_us"] += lt_span.us
+            if lf_span is not None:
+                row["lf_us"] += lf_span.us
+            row["ln_us"] = row["lt_us"] - row["lf_us"]
+        elif span.kind == "sbi.request":
+            module = server_to_module.get(str(span.tags.get("dst")))
+            if module is not None:
+                breakdown[module]["r_us"] += span.us
+        elif span.kind == "sgx.ocall":
+            module = runtime_to_module.get(str(span.tags.get("runtime")))
+            if module is None:
+                continue
+            row = breakdown[module]
+            row["ocalls"] += 1
+            if not span.tags.get("exitless"):
+                # One OCALL is exactly one EEXIT + one EENTER.
+                row["eenters"] += 1
+                row["eexits"] += 1
+                row["transition_us"] += span.tags.get("transition_ns", 0) / 1_000.0
+            row["shield_us"] += span.tags.get("shield_ns", 0) / 1_000.0
+            row["copy_us"] += span.tags.get("copy_ns", 0) / 1_000.0
+            row["host_us"] += span.tags.get("host_ns", 0) / 1_000.0
+    return breakdown
+
+
+def format_span_tree(span: Span, indent: int = 0) -> List[str]:
+    """Human-readable tree, collapsing OCALL bursts into summary lines."""
+    pad = "  " * indent
+    tag_bits = ""
+    interesting = {
+        k: v for k, v in span.tags.items()
+        if k in ("server", "dst", "path", "ue", "status", "success")
+    }
+    if interesting:
+        tag_bits = " " + " ".join(f"{k}={v}" for k, v in sorted(interesting.items()))
+    kind = f" [{span.kind}]" if span.kind else ""
+    lines = [f"{pad}{span.name}{kind} {span.us:.1f} us{tag_bits}"]
+    ocalls: Dict[str, int] = {}
+    ocall_ns = 0
+    for child in span.children:
+        if child.kind == "sgx.ocall":
+            ocalls[child.name] = ocalls.get(child.name, 0) + 1
+            ocall_ns += child.ns
+        else:
+            lines.extend(format_span_tree(child, indent + 1))
+    if ocalls:
+        total = sum(ocalls.values())
+        top = ", ".join(
+            f"{name}x{count}"
+            for name, count in sorted(ocalls.items(), key=lambda kv: -kv[1])[:4]
+        )
+        lines.append(
+            f"{pad}  ({total} sgx.ocall spans, {ocall_ns / 1_000.0:.1f} us: {top})"
+        )
+    return lines

@@ -94,37 +94,71 @@ class Gnb:
             )
 
         clock = self.host.clock
+        # Span tracing (repro.obs): the registration root wraps the same
+        # measure() window as session_setup_ms, so the traced duration is
+        # bit-identical; each NAS round gets a child span.
+        tracer = self.host.tracer
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        root = (
+            tracer.begin("registration", kind="registration", ue=ue.name)
+            if tracer is not None else None
+        )
         exchanges = 0
-        with clock.measure() as setup_span:
-            clock.advance_ms(
-                self.host.rng.jitter(
-                    f"gnb.{self.name}.rrc", self.airlink.rrc_setup_ms, 0.06
+        try:
+            with clock.measure() as setup_span:
+                clock.advance_ms(
+                    self.host.rng.jitter(
+                        f"gnb.{self.name}.rrc", self.airlink.rrc_setup_ms, 0.06
+                    )
                 )
-            )
-            uplink: Optional[NasMessage] = ue.build_registration_request()
-            while uplink is not None and exchanges < self._MAX_NAS_ROUNDS:
-                self._air(uplink)
-                self._n2()
-                downlink = self.amf.handle_nas(ue.name, uplink)
-                exchanges += 1
-                self._n2()
-                self._air(downlink)
-                if isinstance(downlink, AuthenticationReject):
-                    ue.failure_cause = downlink.cause
-                    break
-                uplink = ue.handle_nas(downlink)
+                uplink: Optional[NasMessage] = ue.build_registration_request()
+                while uplink is not None and exchanges < self._MAX_NAS_ROUNDS:
+                    nas_trace = (
+                        tracer.begin(
+                            type(uplink).__name__, kind="nas", round=exchanges + 1
+                        )
+                        if tracer is not None else None
+                    )
+                    try:
+                        self._air(uplink)
+                        self._n2()
+                        downlink = self.amf.handle_nas(ue.name, uplink)
+                        exchanges += 1
+                        self._n2()
+                        self._air(downlink)
+                    finally:
+                        if nas_trace is not None:
+                            tracer.end(nas_trace)
+                    if isinstance(downlink, AuthenticationReject):
+                        ue.failure_cause = downlink.cause
+                        break
+                    uplink = ue.handle_nas(downlink)
 
-            if ue.registered and establish_session:
-                # The PDU session exchange travels ciphered (128-NEA2)
-                # over the freshly established NAS security context.
-                pdu_request = ue.build_pdu_session_request()
-                self._air(pdu_request)
-                self._n2()
-                accept = self.amf.handle_nas(ue.name, pdu_request)
-                exchanges += 1
-                self._n2()
-                self._air(accept)
-                ue.handle_nas(accept)
+                if ue.registered and establish_session:
+                    # The PDU session exchange travels ciphered (128-NEA2)
+                    # over the freshly established NAS security context.
+                    pdu_trace = (
+                        tracer.begin("PduSessionRequest", kind="nas")
+                        if tracer is not None else None
+                    )
+                    try:
+                        pdu_request = ue.build_pdu_session_request()
+                        self._air(pdu_request)
+                        self._n2()
+                        accept = self.amf.handle_nas(ue.name, pdu_request)
+                        exchanges += 1
+                        self._n2()
+                        self._air(accept)
+                        ue.handle_nas(accept)
+                    finally:
+                        if pdu_trace is not None:
+                            tracer.end(pdu_trace)
+        finally:
+            if root is not None:
+                tracer.end(
+                    root, success=ue.registered, nas_exchanges=exchanges
+                )
 
         if ue.registered:
             self.registrations_succeeded += 1

@@ -18,6 +18,18 @@ NS_PER_MS = 1_000_000
 NS_PER_S = 1_000_000_000
 
 
+class MeasurementNestingError(RuntimeError):
+    """A ``measure()`` span was closed out of LIFO order.
+
+    Spans are with-blocks, so in straight-line code they always nest; the
+    error means measurement contexts were entered by hand (or through
+    interleaved generators) and closed out of order, which would corrupt
+    every still-open measurement.  This must stay a real exception — an
+    ``assert`` would vanish under ``python -O`` and let the corruption
+    pass silently.
+    """
+
+
 @dataclass
 class TimeSpan:
     """A measured interval of simulated time, in nanoseconds."""
@@ -96,8 +108,13 @@ class SimClock:
             # Measurements nest (with-blocks), so the span being closed is
             # always the most recently opened one: pop O(1) instead of an
             # O(n) List.remove scan.
-            popped = self._open_measurements.pop()
-            assert popped is span, "measure() spans must close LIFO"
+            popped = self._open_measurements.pop() if self._open_measurements else None
+            if popped is not span:
+                raise MeasurementNestingError(
+                    "measure() spans must close LIFO: closing "
+                    f"[{span.start_ns}, ...] but the innermost open span is "
+                    f"{popped!r}"
+                )
 
     def timestamp(self) -> int:
         """Current simulated time in nanoseconds since simulation start."""

@@ -58,6 +58,13 @@ class Event:
             and self.detail == other.detail
         )
 
+    # Defining __eq__ alone sets __hash__ to None and makes events
+    # unusable in sets/dict keys.  Hash on the immutable identity fields
+    # only: ``detail`` is a dict, so it cannot contribute, and leaving it
+    # out keeps the invariant that equal events hash equal.
+    def __hash__(self) -> int:
+        return hash((self.timestamp_ns, self.category))
+
 
 class EventLog:
     """Append-only event trace with category filtering."""

@@ -52,6 +52,15 @@ class BoundedSeries(list):
     :attr:`stats`.  With a cap, appends beyond it drop the oldest half of
     the retained samples — the stats stay exact over everything ever
     appended, only the raw window is trimmed.
+
+    The series is **append-only**: every mutator that introduces new
+    samples (:meth:`extend`, ``+=``) routes through :meth:`append` so the
+    running stats and the retention cap always see them, and mutators
+    that would rewrite or splice samples in place (``insert``, item or
+    slice assignment) are rejected — they would desynchronise
+    :attr:`stats` from the sample window.  Deletion (the cap trim) is
+    allowed because stats intentionally cover everything ever appended,
+    not just the retained window.
     """
 
     def __init__(self, cap: Optional[int] = None, iterable: Iterable[float] = ()) -> None:
@@ -68,3 +77,23 @@ class BoundedSeries(list):
         super().append(value)
         if self.cap is not None and len(self) > self.cap:
             del self[: len(self) // 2]
+
+    def extend(self, iterable: Iterable[float]) -> None:
+        for value in iterable:
+            self.append(value)
+
+    def __iadd__(self, iterable: Iterable[float]) -> "BoundedSeries":
+        self.extend(iterable)
+        return self
+
+    def insert(self, index, value) -> None:
+        raise TypeError(
+            "BoundedSeries is append-only: insert() would bypass the "
+            "running stats and the retention cap"
+        )
+
+    def __setitem__(self, index, value) -> None:
+        raise TypeError(
+            "BoundedSeries is append-only: item/slice assignment would "
+            "bypass the running stats and the retention cap"
+        )

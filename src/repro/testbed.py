@@ -178,6 +178,20 @@ class Testbed:
             return {}
         return {name: module.server for name, module in self.paka.modules.items()}
 
+    def collect_metrics(self, registry=None, fault_injector=None):
+        """Snapshot the whole testbed into a ``repro.obs`` registry."""
+        from repro.obs.collect import collect_testbed_metrics
+
+        return collect_testbed_metrics(
+            self, registry=registry, fault_injector=fault_injector
+        )
+
+    def trace_registration(self, establish_session: bool = False):
+        """Trace one fresh registration (see :mod:`repro.obs.collect`)."""
+        from repro.obs.collect import trace_registration
+
+        return trace_registration(self, establish_session=establish_session)
+
     def idle(self, duration_s: float) -> None:
         """Let the slice sit idle concurrently (drives Table III's AEXs)."""
         if self.paka is not None:

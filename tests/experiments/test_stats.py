@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.stats import outlier_fraction, summarize
+from repro.experiments.stats import outlier_fraction, percentiles, summarize
 
 
 def test_summarize_basic():
@@ -41,3 +41,25 @@ def test_outlier_fraction_detects_spikes():
 
 def test_outlier_fraction_small_samples():
     assert outlier_fraction([1.0, 2.0]) == 0.0
+
+
+def test_percentiles_basic():
+    assert percentiles([1.0, 2.0, 3.0, 4.0, 5.0], (50,)) == [3.0]
+    p25, p75 = percentiles([1.0, 2.0, 3.0, 4.0, 5.0], (25, 75))
+    assert (p25, p75) == (2.0, 4.0)
+
+
+def test_percentiles_empty_returns_none_per_quantile():
+    # An all-failures fault arm has no latency samples; the helper must
+    # not crash np.percentile, and None (unlike NaN) survives JSON.
+    assert percentiles([], (50, 95, 99)) == [None, None, None]
+
+
+def test_availability_percentiles_guard_empty():
+    from repro.experiments.availability import _percentiles_ms
+
+    row = _percentiles_ms([])
+    assert row == {"p50_ms": None, "p95_ms": None, "p99_ms": None}
+    filled = _percentiles_ms([1.0, 2.0, 3.0])
+    assert filled["p50_ms"] == 2.0
+    assert filled["p99_ms"] is not None

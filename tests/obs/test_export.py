@@ -1,0 +1,97 @@
+"""Exporter round-trips: JSON and Prometheus text both parse back."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    parse_prometheus_text,
+    registry_from_dict,
+    registry_to_dict,
+    registry_to_json,
+    registry_to_prometheus_text,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("http_requests_served_total", server="eudm-paka-srv-0").set(42)
+    registry.counter("sgx_eenters_total", component="eudm").set(1_991)
+    registry.gauge("circuit_breaker_open", nf="amf", peer="ausf").set(0.0)
+    histogram = registry.histogram("http_lf_us", server="eudm-paka-srv-0")
+    for value in (47.1, 50.2, 45.9, 48.8):
+        histogram.observe(value)
+    return registry
+
+
+def test_json_round_trip_is_lossless():
+    registry = _sample_registry()
+    payload = json.loads(registry_to_json(registry))
+    rebuilt = registry_from_dict(payload)
+    assert registry_to_json(rebuilt) == registry_to_json(registry)
+
+
+def test_json_dict_shape():
+    payload = registry_to_dict(_sample_registry())
+    counters = {c["name"]: c for c in payload["counters"]}
+    assert counters["http_requests_served_total"]["value"] == 42
+    assert counters["sgx_eenters_total"]["labels"] == {"component": "eudm"}
+    histogram = payload["histograms"][0]
+    assert histogram["count"] == 4
+    assert histogram["window"] == [47.1, 50.2, 45.9, 48.8]
+    assert histogram["sum"] == pytest.approx(192.0)
+
+
+def test_prometheus_round_trip():
+    registry = _sample_registry()
+    text = registry_to_prometheus_text(registry)
+    samples = parse_prometheus_text(text)
+    assert samples[
+        ("http_requests_served_total", (("server", "eudm-paka-srv-0"),))
+    ] == 42.0
+    assert samples[("sgx_eenters_total", (("component", "eudm"),))] == 1_991.0
+    assert samples[
+        ("http_lf_us_count", (("server", "eudm-paka-srv-0"),))
+    ] == 4.0
+    assert samples[
+        ("http_lf_us_sum", (("server", "eudm-paka-srv-0"),))
+    ] == pytest.approx(192.0)
+    # Window quantiles are exposed with quantile labels.
+    assert (
+        "http_lf_us",
+        (("quantile", "0.5"), ("server", "eudm-paka-srv-0")),
+    ) in samples
+
+
+def test_prometheus_type_comment_once_per_name():
+    registry = MetricsRegistry()
+    registry.counter("x_total", nf="amf").set(1)
+    registry.counter("x_total", nf="smf").set(2)
+    text = registry_to_prometheus_text(registry)
+    assert text.count("# TYPE x_total counter") == 1
+
+
+def test_prometheus_label_escaping_round_trips():
+    registry = MetricsRegistry()
+    registry.counter("esc_total", note='say "hi"\\now').set(3)
+    samples = parse_prometheus_text(registry_to_prometheus_text(registry))
+    assert samples[("esc_total", (("note", 'say "hi"\\now'),))] == 3.0
+
+
+def test_prometheus_rejects_invalid_metric_name():
+    registry = MetricsRegistry()
+    registry.counter("bad name")
+    with pytest.raises(ValueError):
+        registry_to_prometheus_text(registry)
+
+
+def test_parse_rejects_garbage_lines():
+    with pytest.raises(ValueError):
+        parse_prometheus_text("this is not a sample\n")
+
+
+def test_empty_registry_exports():
+    registry = MetricsRegistry()
+    assert registry_from_dict(registry_to_dict(registry)) is not None
+    assert parse_prometheus_text(registry_to_prometheus_text(registry)) == {}

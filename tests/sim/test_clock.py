@@ -4,7 +4,13 @@ import contextlib
 
 import pytest
 
-from repro.sim.clock import NS_PER_MS, NS_PER_US, SimClock, TimeSpan
+from repro.sim.clock import (
+    NS_PER_MS,
+    NS_PER_US,
+    MeasurementNestingError,
+    SimClock,
+    TimeSpan,
+)
 
 
 def test_starts_at_zero():
@@ -95,14 +101,33 @@ def test_deeply_nested_measurements_close_lifo():
 
 def test_measure_rejects_out_of_order_close():
     # Spans are with-blocks, so they can only close LIFO; closing an
-    # outer generator before its inner one trips the invariant assert.
+    # outer generator before its inner one raises a *real* exception —
+    # an assert would vanish under ``python -O`` and silently corrupt
+    # every still-open measurement.
     clock = SimClock()
     outer = clock.measure()
     inner = clock.measure()
     outer.__enter__()
     inner.__enter__()
-    with pytest.raises(AssertionError, match="LIFO"):
+    with pytest.raises(MeasurementNestingError, match="LIFO"):
         outer.__exit__(None, None, None)
     # Unwind the abandoned inner span so its generator does not warn at GC.
-    with contextlib.suppress(AssertionError, IndexError):
+    with contextlib.suppress(MeasurementNestingError, IndexError):
         inner.__exit__(None, None, None)
+
+
+def test_measure_misnesting_is_a_runtime_error():
+    # Callers that guard broadly with ``except RuntimeError`` must catch
+    # the misnesting failure too (it is corruption, not an assert).
+    assert issubclass(MeasurementNestingError, RuntimeError)
+
+
+def test_measure_close_on_empty_stack_raises():
+    # Closing a span whose stack entry is already gone (e.g. the stack
+    # was clobbered by a prior misnesting) must raise, not IndexError.
+    clock = SimClock()
+    span_ctx = clock.measure()
+    span_ctx.__enter__()
+    clock._open_measurements.clear()
+    with pytest.raises(MeasurementNestingError):
+        span_ctx.__exit__(None, None, None)

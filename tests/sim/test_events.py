@@ -1,6 +1,29 @@
 """Event log filtering and capacity behaviour."""
 
-from repro.sim.events import EventLog
+from repro.sim.events import Event, EventLog
+
+
+def test_events_are_hashable_and_usable_in_sets():
+    # __eq__ without __hash__ would set __hash__ to None; events must
+    # stay usable as set members and dict keys.
+    a = Event(1, "sgx.ocall", {"syscall": "read"})
+    b = Event(1, "sgx.ocall", {"syscall": "read"})
+    c = Event(2, "sgx.ocall", {"syscall": "read"})
+    assert a == b and hash(a) == hash(b)
+    assert len({a, b, c}) == 2
+    index = {a: "first"}
+    assert index[b] == "first"  # equal event addresses the same slot
+    assert c not in index
+
+
+def test_unequal_detail_events_still_collide_safely():
+    # detail is excluded from the hash (dicts are unhashable); events
+    # differing only in detail are unequal but land in the same bucket.
+    a = Event(1, "net.frame", {"nbytes": 1})
+    b = Event(1, "net.frame", {"nbytes": 2})
+    assert a != b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 2
 
 
 def test_emit_and_len():

@@ -59,3 +59,46 @@ class TestBoundedSeries:
         series = BoundedSeries(cap=None, iterable=[1.0, 2.0])
         assert list(series) == [1.0, 2.0]
         assert series.stats.count == 2
+
+    def test_extend_routes_through_append(self):
+        series = BoundedSeries(cap=4)
+        series.extend([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        assert series.stats.count == 6
+        assert series.stats.total == 21.0
+        assert series.stats.maximum == 6.0
+        assert len(series) <= 4  # the cap applies to extended samples too
+        assert series[-1] == 6.0
+
+    def test_iadd_routes_through_append(self):
+        series = BoundedSeries()
+        series += [3.0, 4.0]
+        series += (5.0,)
+        assert isinstance(series, BoundedSeries)
+        assert list(series) == [3.0, 4.0, 5.0]
+        assert series.stats.count == 3
+        assert series.stats.total == 12.0
+
+    def test_insert_is_forbidden(self):
+        series = BoundedSeries(iterable=[1.0])
+        with pytest.raises(TypeError, match="append-only"):
+            series.insert(0, 99.0)
+        assert series.stats.count == 1
+        assert list(series) == [1.0]
+
+    def test_item_assignment_is_forbidden(self):
+        series = BoundedSeries(iterable=[1.0, 2.0])
+        with pytest.raises(TypeError, match="append-only"):
+            series[0] = 99.0
+        with pytest.raises(TypeError, match="append-only"):
+            series[0:1] = [99.0, 98.0]
+        assert list(series) == [1.0, 2.0]
+        assert series.stats.count == 2
+
+    def test_window_deletion_keeps_stats_exact(self):
+        # Deletion only trims the retained window (like the cap trim);
+        # stats cover everything ever appended by design.
+        series = BoundedSeries(iterable=[1.0, 2.0, 3.0])
+        del series[:2]
+        assert list(series) == [3.0]
+        assert series.stats.count == 3
+        assert series.stats.total == 6.0

@@ -40,6 +40,51 @@ def test_setup_experiment_small(capsys):
     assert "sgx_share_percent" in capsys.readouterr().out
 
 
+def test_metrics_selftest(capsys):
+    assert main(["metrics", "--selftest"]) == 0
+    assert "metrics selftest OK" in capsys.readouterr().out
+
+
+def test_trace_command_monolithic(capsys):
+    assert main(["trace", "--isolation", "monolithic", "--warmup", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "registration [registration]" in out
+    assert "[sbi.request]" in out
+
+
+def test_trace_command_json(capsys):
+    import json
+
+    assert main(["trace", "--isolation", "monolithic", "--warmup", "0", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["outcome"]["success"] is True
+    assert payload["spans"]["kind"] == "registration"
+
+
+def test_metrics_command_prom(capsys):
+    assert main(["metrics", "--isolation", "monolithic", "--registrations", "1",
+                 "--format", "prom"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE http_requests_served_total counter" in out
+    assert 'gnb_registrations_succeeded_total{gnb="gnb-0"} 1' in out
+
+
+def test_metrics_command_json(capsys):
+    import json
+
+    assert main(["metrics", "--isolation", "monolithic", "--registrations", "1"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counters"] and payload["histograms"]
+
+
+def test_trace_and_metrics_parsers():
+    parser = build_parser()
+    args = parser.parse_args(["trace", "--seed", "3", "--json"])
+    assert args.command == "trace" and args.seed == 3 and args.json
+    args = parser.parse_args(["metrics", "--format", "prom", "--selftest"])
+    assert args.command == "metrics" and args.format == "prom" and args.selftest
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["not-a-command"])
