@@ -142,6 +142,45 @@ def measure_tracer_overhead(registrations: int = REGISTRATIONS, repeats: int = 3
     }
 
 
+def measure_monitor_overhead(registrations: int = REGISTRATIONS, repeats: int = 3) -> dict:
+    """Host-time cost of an *armed* continuous-monitoring scraper.
+
+    Compares registrations with ``host.monitor = None`` (the default)
+    against a fully installed :class:`~repro.obs.scrape.Scraper` on the
+    standard 1 s simulated-time cadence — hook checks on every
+    registration plus whatever scrapes actually land on the timeline.
+    Same interleaved best-of-N discipline as the tracer measurement.
+    """
+    from repro.experiments.harness import warmed_testbed
+    from repro.obs.scrape import Scraper
+    from repro.paka.deploy import IsolationMode
+
+    def one_wall_s(armed: bool) -> float:
+        testbed = warmed_testbed(IsolationMode.SGX, seed=7)
+        if armed:
+            Scraper.for_testbed(testbed, cadence_s=1.0).install(testbed.host)
+        start = time.perf_counter()
+        for _ in range(registrations):
+            ue = testbed.add_subscriber()
+            outcome = testbed.register(ue, establish_session=False)
+            if not outcome.success:
+                raise RuntimeError(f"registration failed: {outcome.failure_cause}")
+        return time.perf_counter() - start
+
+    none_s = float("inf")
+    armed_s = float("inf")
+    for _ in range(repeats):
+        none_s = min(none_s, one_wall_s(False))
+        armed_s = min(armed_s, one_wall_s(True))
+    return {
+        "registrations": registrations,
+        "repeats": repeats,
+        "monitor_none_wall_s": round(none_s, 4),
+        "monitor_armed_wall_s": round(armed_s, 4),
+        "armed_overhead_percent": round(100.0 * (armed_s / none_s - 1.0), 2),
+    }
+
+
 def measure_suite() -> dict:
     """Wall-clock of one full benchmark-suite run (the expensive bit)."""
     start = time.perf_counter()
@@ -196,6 +235,14 @@ def main(argv=None) -> int:
         help="measure disabled-tracer hook overhead and exit non-zero if "
         "it exceeds this percentage (ISSUE 4 budget: 3)",
     )
+    parser.add_argument(
+        "--monitor-gate",
+        type=float,
+        default=None,
+        metavar="PERCENT",
+        help="measure armed-scraper monitoring overhead and exit non-zero "
+        "if it exceeds this percentage (ISSUE 5 budget: 3)",
+    )
     args = parser.parse_args(argv)
 
     block_batch = BLOCK_BATCH // 5 if args.quick else BLOCK_BATCH
@@ -209,6 +256,8 @@ def main(argv=None) -> int:
     }
     if args.tracer_gate is not None:
         run["tracer_overhead"] = measure_tracer_overhead(registrations)
+    if args.monitor_gate is not None:
+        run["monitor_overhead"] = measure_monitor_overhead(registrations)
     if args.suite:
         run.update(measure_suite())
 
@@ -241,6 +290,15 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: disabled-tracer hook overhead {overhead}% exceeds "
                 f"the --tracer-gate budget of {args.tracer_gate}%",
+                file=sys.stderr,
+            )
+            return 1
+    if args.monitor_gate is not None:
+        overhead = run["monitor_overhead"]["armed_overhead_percent"]
+        if overhead > args.monitor_gate:
+            print(
+                f"FAIL: armed-scraper monitoring overhead {overhead}% exceeds "
+                f"the --monitor-gate budget of {args.monitor_gate}%",
                 file=sys.stderr,
             )
             return 1

@@ -229,6 +229,272 @@ def _metrics_selftest() -> int:
     return 0
 
 
+def _monitor_selftest() -> int:
+    """Scraper/Tsdb/SLO self-check used by CI: no testbed, pure sim time.
+
+    Drives a synthetic producer through a stall window and asserts the
+    burn-rate alert fires during the outage, resolves after it, and that
+    the whole pipeline is deterministic (bit-identical on re-run).
+    """
+    import json
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.scrape import Scraper
+    from repro.obs.slo import BurnRateWindow, RatioSlo, SloEngine, ThresholdSlo
+    from repro.obs.tsdb import NS_PER_S
+    from repro.sim.clock import SimClock
+
+    def run_once():
+        clock = SimClock()
+        state = {"total": 0, "good": 0, "latencies": []}
+
+        def collect() -> MetricsRegistry:
+            registry = MetricsRegistry()
+            registry.counter("selftest_total").set(state["total"])
+            registry.counter("selftest_good").set(state["good"])
+            histogram = registry.histogram("selftest_latency_us")
+            for value in state["latencies"]:
+                histogram.observe(value)
+            return registry
+
+        scraper = Scraper(clock, collect, cadence_s=1.0)
+
+        class _Host:
+            monitor = None
+
+        host = _Host()
+        scraper.install(host)
+        # 120 simulated seconds: one op per second; ops fail (and slow
+        # down 10x) during the [40 s, 80 s) stall window.
+        for second in range(1, 121):
+            clock.advance_s(1.0)
+            stalled = 40 <= second < 80
+            state["total"] += 1
+            state["good"] += 0 if stalled else 1
+            state["latencies"].append(500.0 if stalled else 50.0)
+            scraper.tick()
+        scraper.uninstall(host)
+
+        slos = [
+            RatioSlo(
+                "selftest-success",
+                good=("selftest_good", {}),
+                total=("selftest_total", {}),
+                objective=0.99,
+                windows=(BurnRateWindow("fast", 60.0, 15.0, 4.0),),
+            ),
+            ThresholdSlo(
+                "selftest-latency",
+                basename="selftest_latency_us",
+                labels={},
+                limit_us=100.0,
+                windows=(BurnRateWindow("fast", 30.0, 10.0, 1.5),),
+            ),
+        ]
+        alerts = SloEngine(slos).evaluate(scraper.tsdb)
+        return scraper, alerts
+
+    scraper, alerts = run_once()
+    by_slo = {}
+    for alert in alerts:
+        by_slo.setdefault(alert.slo, []).append(alert)
+    failures = []
+    for slo_name in ("selftest-success", "selftest-latency"):
+        fired = by_slo.get(slo_name, [])
+        if not fired:
+            failures.append(f"{slo_name}: no alert fired during the stall")
+            continue
+        first = fired[0]
+        if not 40 * 10**9 <= first.fired_at_ns <= 90 * 10**9:
+            failures.append(
+                f"{slo_name}: fired at {first.fired_at_ns} ns, "
+                "outside the stall window"
+            )
+        if not any(a.resolved for a in fired):
+            failures.append(f"{slo_name}: never resolved after the stall")
+
+    # Determinism: the whole pipeline must replay bit-identically.
+    scraper2, alerts2 = run_once()
+    dump = lambda s, a: json.dumps(  # noqa: E731 - local one-shot helper
+        {"tsdb": s.tsdb.to_dict(), "alerts": [x.to_dict() for x in a]},
+        sort_keys=True,
+    )
+    if dump(scraper, alerts) != dump(scraper2, alerts2):
+        failures.append("re-run produced different Tsdb/alert bytes")
+
+    if failures:
+        for failure in failures:
+            print(f"monitor selftest FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"monitor selftest OK ({scraper.scrapes} scrapes, "
+        f"{len(scraper.tsdb)} series, {len(alerts)} alerts, deterministic)"
+    )
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    """Monitor one availability fault arm: scraper + Tsdb + SLO alerts."""
+    if args.selftest:
+        return _monitor_selftest()
+
+    import json
+
+    from repro.experiments.availability import monitored_arm
+
+    payload = monitored_arm(
+        factor=args.factor,
+        registrations=args.registrations,
+        horizon_s=args.horizon,
+        seed=args.seed,
+        cadence_s=args.cadence,
+    )
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    row = payload["row"]
+    monitor = payload["monitor"]
+    print(
+        f"fault arm x{row['fault_factor']:g}: "
+        f"{row['successes']}/{row['attempts']} registrations succeeded "
+        f"({monitor['scrapes']} scrapes @ {monitor['cadence_s']:g}s, "
+        f"{monitor['series']} series, {len(monitor['fault_windows'])} "
+        f"fault windows)"
+    )
+    print("SLOs:")
+    for slo in monitor["slos"]:
+        print(f"  {slo}")
+    if monitor["alerts"]:
+        print("alerts (simulated seconds from arm start):")
+        for alert in monitor["alerts"]:
+            resolved = (
+                f"resolved {alert['resolved_at_s']:9.3f}s"
+                if alert["resolved_at_s"] is not None
+                else "still firing"
+            )
+            print(
+                f"  [{alert['window']:<4}] {alert['slo']:<24} "
+                f"fired {alert['fired_at_s']:9.3f}s  {resolved}  "
+                f"peak burn {alert['peak_burn']:.1f}x"
+            )
+    else:
+        print("alerts: none fired")
+    print(
+        f"{monitor['alerts_in_fault_windows']} alert(s) fired inside an "
+        "injected fault window"
+    )
+    return 0
+
+
+def _profile_selftest() -> int:
+    """Profiler self-check used by CI: the collapsed-stack totals must
+    agree bit-for-bit with the span-derived Table III decomposition."""
+    from repro.obs.flame import parse_collapsed_text
+    from repro.obs.profile import profile_registration
+    from repro.paka.deploy import IsolationMode
+    from repro.testbed import Testbed, TestbedConfig
+
+    testbed = Testbed.build(TestbedConfig(isolation=IsolationMode.SGX, seed=0))
+    testbed.register(testbed.add_subscriber())  # warm-up (steady state)
+    profile, trace = profile_registration(testbed)
+
+    failures = []
+    if not trace.outcome.success:
+        failures.append(f"registration failed: {trace.outcome.failure_cause}")
+    errors = profile.agreement_errors()
+    for key, detail in sorted(errors.items()):
+        failures.append(f"profile/breakdown disagree on {key}: {detail}")
+    if profile.total_ns != profile.root.ns:
+        failures.append(
+            f"folded self-times sum to {profile.total_ns} ns, "
+            f"span tree covers {profile.root.ns} ns"
+        )
+    text = profile.collapsed()
+    if parse_collapsed_text(text) != profile.stacks:
+        failures.append("collapsed text did not round-trip")
+    for module, row in profile.modules.items():
+        if row["eenters"] <= 0:
+            failures.append(f"{module}: no EENTERs attributed")
+
+    if failures:
+        for failure in failures:
+            print(f"profile selftest FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"profile selftest OK ({len(profile.stacks)} stacks, "
+        f"{profile.total_ns} ns folded, "
+        f"{len(profile.modules)} modules bit-identical to the trace "
+        "breakdown)"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Fold one traced registration into a cycle-attribution flame graph."""
+    if args.selftest:
+        return _profile_selftest()
+
+    import json
+
+    from repro.obs.profile import profile_registration
+    from repro.paka.deploy import IsolationMode
+    from repro.testbed import Testbed, TestbedConfig
+
+    isolation = None if args.isolation == "monolithic" else IsolationMode(args.isolation)
+    testbed = Testbed.build(TestbedConfig(isolation=isolation, seed=args.seed))
+    for _ in range(args.warmup):
+        testbed.register(testbed.add_subscriber())
+    profile, trace = profile_registration(testbed)
+    errors = profile.agreement_errors()
+    if errors:
+        for key, detail in sorted(errors.items()):
+            print(f"profile/breakdown disagree on {key}: {detail}", file=sys.stderr)
+        return 1
+
+    if args.collapsed:
+        # Folded stacks, pipe into flamegraph.pl / load into speedscope.
+        print(profile.collapsed(), end="")
+        return 0 if trace.outcome.success else 1
+    if args.json:
+        payload = {
+            "outcome": {
+                "success": trace.outcome.success,
+                "session_setup_ms": trace.outcome.session_setup_ms,
+                "nas_exchanges": trace.outcome.nas_exchanges,
+            },
+            "total_ns": profile.total_ns,
+            "modules": profile.modules,
+            "breakdown": trace.breakdown,
+            "stacks": [
+                {"stack": list(stack), "ns": profile.stacks[stack]}
+                for stack in sorted(profile.stacks)
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if trace.outcome.success else 1
+
+    print(
+        f"registration folded: {profile.total_ns / 1e6:.2f} ms over "
+        f"{len(profile.stacks)} stacks"
+    )
+    if profile.modules:
+        print("Per-module SGX cost attribution (Table III from the fold):")
+        header = (
+            f"  {'module':<8} {'EENTER':>7} {'EEXIT':>7} {'OCALLs':>7} "
+            f"{'trans us':>9} {'shield us':>10} {'copy us':>9} {'host us':>9}"
+        )
+        print(header)
+        for module, row in sorted(profile.modules.items()):
+            print(
+                f"  {module:<8} {row['eenters']:>7} {row['eexits']:>7} "
+                f"{row['ocalls']:>7} {row['transition_us']:>9.1f} "
+                f"{row['shield_us']:>10.1f} {row['copy_us']:>9.1f} "
+                f"{row['host_us']:>9.1f}"
+            )
+    print("(use --collapsed for flamegraph.pl input, --json for the full fold)")
+    return 0 if trace.outcome.success else 1
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     """Run registrations and export the testbed's metrics registry."""
     if args.selftest:
@@ -324,6 +590,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="exporter round-trip self-check (no testbed; used by CI)",
     )
 
+    monitor = sub.add_parser(
+        "monitor",
+        help="continuously monitor one fault arm: scraper + Tsdb + SLO "
+        "burn-rate alerts with simulated timestamps",
+    )
+    monitor.add_argument(
+        "--factor", type=float, default=2.0,
+        help="fault-rate multiplier (x BASELINE_RATES; 0 = fault-free)",
+    )
+    monitor.add_argument("--registrations", type=int, default=120)
+    monitor.add_argument(
+        "--horizon", type=float, default=180.0,
+        help="arm duration in simulated seconds",
+    )
+    monitor.add_argument("--seed", type=int, default=23)
+    monitor.add_argument(
+        "--cadence", type=float, default=1.0,
+        help="scrape cadence in simulated seconds",
+    )
+    monitor.add_argument(
+        "--json", action="store_true",
+        help="emit the row, SLOs, alerts and fault windows as JSON "
+        "(byte-identical for a fixed seed)",
+    )
+    monitor.add_argument(
+        "--selftest", action="store_true",
+        help="scraper/Tsdb/SLO pipeline self-check (no testbed; used by CI)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="fold one traced registration into a cycle-attribution "
+        "flame graph (collapsed-stack output)",
+    )
+    profile.add_argument(
+        "--isolation",
+        choices=["monolithic", "container", "sgx", "secure-vm"],
+        default="sgx",
+    )
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--warmup", type=int, default=1,
+        help="untraced registrations before the profiled one (steady state)",
+    )
+    profile.add_argument(
+        "--collapsed", action="store_true",
+        help="emit folded stacks for flamegraph.pl / speedscope",
+    )
+    profile.add_argument(
+        "--json", action="store_true",
+        help="emit the fold (stacks + per-module totals) as JSON",
+    )
+    profile.add_argument(
+        "--selftest", action="store_true",
+        help="profiler-vs-trace exactness self-check (used by CI)",
+    )
+
     for name, description in _EXPERIMENTS.items():
         experiment = sub.add_parser(name, help=description)
         experiment.add_argument("--registrations", type=int, default=60)
@@ -353,6 +676,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "metrics":
             return _cmd_metrics(args)
+        if args.command == "monitor":
+            return _cmd_monitor(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
         return _cmd_experiment(args)
     except BrokenPipeError:  # output piped into head/less and closed
         return 0

@@ -23,12 +23,17 @@ import numpy as np
 from repro.experiments.harness import BandCheck, ExperimentReport, warmed_testbed
 from repro.experiments.stats import percentiles, summarize
 from repro.faults import BASELINE_RATES, DEFAULT_SBI_RETRY, FaultInjector, FaultPlan
+from repro.obs.scrape import Scraper
+from repro.obs.slo import SloEngine, default_slos
 from repro.paka.deploy import IsolationMode
 
 NS_PER_S = 1_000_000_000
 
 #: Fault-rate multipliers for the default sweep (0× = fault-free control).
 DEFAULT_FACTORS = (0.0, 1.0, 2.0, 4.0)
+
+#: Default monitoring cadence: one scrape per simulated second.
+DEFAULT_CADENCE_S = 1.0
 
 
 def _percentiles_ms(latencies_ms: Sequence[float]) -> Dict[str, object]:
@@ -51,8 +56,16 @@ def _run_arm(
     registrations: int,
     horizon_s: float,
     seed: int,
+    cadence_s: float = DEFAULT_CADENCE_S,
 ) -> Dict[str, object]:
-    """One sweep arm: a fresh warmed slice under ``factor×`` fault rates."""
+    """One sweep arm: a fresh warmed slice under ``factor×`` fault rates.
+
+    A :class:`~repro.obs.scrape.Scraper` monitors the whole arm on a
+    ``cadence_s`` simulated-time cadence, and the paper-derived SLOs are
+    evaluated over its Tsdb afterwards — scrapes are pull-only, so the
+    monitored arm spends exactly the same simulated nanoseconds as an
+    unmonitored one (the 0× arm still reproduces the golden clocks).
+    """
     testbed = warmed_testbed(IsolationMode.SGX, seed=seed)
     nfs = (
         testbed.nrf, testbed.udr, testbed.udm, testbed.ausf,
@@ -66,6 +79,10 @@ def _run_arm(
     clock = testbed.host.clock
     start_ns = clock.now_ns
     gap_s = horizon_s / registrations
+
+    scraper = Scraper.for_testbed(
+        testbed, cadence_s=cadence_s, fault_injector=injector
+    ).install(testbed.host)
 
     successes = 0
     latencies_ms: List[float] = []
@@ -88,9 +105,14 @@ def _run_arm(
     injector.disarm()
 
     # Recovery probe: with the plan disarmed and the circuit-breaker
-    # cooldown (5 s) elapsed, the slice must serve again.
+    # cooldown (5 s) elapsed, the slice must serve again.  The scraper
+    # stays installed so post-fault scrapes let burn-rate alerts resolve.
     testbed.idle(6.0)
     probe = testbed.register(testbed.add_subscriber(), establish_session=False)
+    scraper.uninstall(testbed.host)
+
+    slos = default_slos(testbed)
+    alerts = SloEngine(slos).evaluate(scraper.tsdb)
 
     retries = sum(nf.client.retries for nf in nfs)
     timeouts = sum(nf.client.timeouts for nf in nfs)
@@ -110,11 +132,62 @@ def _run_arm(
         "breaker_opens": sum(b.times_opened for b in breakers),
         "fast_failures": sum(b.fast_failures for b in breakers),
         "recovered": int(probe.success),
+        "alerts_fired": len(alerts),
         "final_clock_ns": clock.now_ns,
     }
     row.update(_percentiles_ms(latencies_ms))
     row["latencies_ms"] = latencies_ms  # stripped before the report
+    row["_monitor"] = {  # stripped before the report; kept by monitored_arm
+        "cadence_s": cadence_s,
+        "base_ns": start_ns,
+        "scrapes": scraper.scrapes,
+        "series": len(scraper.tsdb),
+        "slos": [slo.describe() for slo in slos],
+        "alerts": [alert.to_dict(start_ns) for alert in alerts],
+        "fault_windows": [
+            {
+                "kind": window.kind.value,
+                "target": window.target,
+                "start_s": round(window.start_ns / NS_PER_S, 6),
+                "end_s": round(window.end_ns / NS_PER_S, 6),
+                "magnitude": round(window.magnitude, 6),
+            }
+            for window in plan.windows
+        ],
+        "alerts_in_fault_windows": _alerts_in_windows(alerts, plan, start_ns),
+    }
     return row
+
+
+def _alerts_in_windows(alerts, plan: FaultPlan, base_ns: int) -> int:
+    """How many alerts fired while at least one fault window was active."""
+    count = 0
+    for alert in alerts:
+        rel_ns = alert.fired_at_ns - base_ns
+        if any(window.active(rel_ns) for window in plan.windows):
+            count += 1
+    return count
+
+
+def monitored_arm(
+    factor: float = 2.0,
+    registrations: int = 120,
+    horizon_s: float = 180.0,
+    seed: int = 23,
+    cadence_s: float = DEFAULT_CADENCE_S,
+) -> Dict[str, object]:
+    """One fully monitored fault arm with alert detail (``repro monitor``).
+
+    Returns the availability row plus the monitoring payload: declared
+    SLOs, every alert with simulated firing/resolve timestamps (relative
+    seconds from the arm start), the injected fault windows, and how
+    many alerts fired while a fault window was active.  Deterministic —
+    byte-identical JSON for a fixed ``(seed, factor, cadence)``.
+    """
+    row = _run_arm(factor, registrations, horizon_s, seed, cadence_s=cadence_s)
+    monitor = row.pop("_monitor")
+    row.pop("latencies_ms")
+    return {"row": row, "monitor": monitor}
 
 
 def availability_experiment(
@@ -136,6 +209,7 @@ def availability_experiment(
     by_factor = {row["fault_factor"]: row for row in rows}
     for row in rows:
         label = f"x{row['fault_factor']:g}"
+        row.pop("_monitor")
         latencies = row.pop("latencies_ms")
         if latencies:
             report.series[f"latency_ms_{label}"] = summarize(

@@ -233,6 +233,23 @@ class NetworkFunction:
 
     # ----------------------------------------------------------- lifecycle
 
+    def restart(self) -> None:
+        """Simulate a process restart (fault revive): fresh statistics,
+        cold caches.
+
+        Every live counter and latency series starts over from zero —
+        the scenario Prometheus-style counter-reset detection exists
+        for — and cached TLS connections are poisoned so peers
+        re-handshake on their next call.  Routes, NRF registration and
+        peer bindings survive (the revived process re-reads its config).
+        """
+        for connection in self._connections.values():
+            connection.open = False
+        self._connections.clear()
+        self.server.reset_stats()
+        self.client.reset_stats()
+        self.circuit_breakers.clear()
+
     def shutdown(self) -> None:
         for connection in self._connections.values():
             if connection.open:

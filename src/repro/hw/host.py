@@ -18,6 +18,7 @@ from repro.sim.events import EventLog
 from repro.sim.rng import RngService
 
 if TYPE_CHECKING:  # avoid a runtime import cycle with repro.obs
+    from repro.obs.scrape import Scraper
     from repro.obs.trace import Tracer
 
 
@@ -36,6 +37,11 @@ class PhysicalHost:
     # installed tracer records span trees without advancing the clock,
     # so traced runs stay bit-identical in simulated time.
     tracer: Optional["Tracer"] = field(default=None, repr=False)
+    # Continuous monitoring (repro.obs.scrape).  Same contract as the
+    # tracer: None costs one attribute read per hook, and an installed
+    # scraper only *reads* — registries, counters and the clock — so a
+    # monitored run spends identical simulated nanoseconds.
+    monitor: Optional["Scraper"] = field(default=None, repr=False)
 
     @property
     def cpu(self) -> Cpu:

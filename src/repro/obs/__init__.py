@@ -16,11 +16,21 @@ arithmetic:
 * :mod:`repro.obs.export` — JSON and Prometheus-text exporters (with
   parsers, so round-trips are testable),
 * :mod:`repro.obs.collect` — assembles a registry from a live testbed
-  and records one-registration traces.
+  and records one-registration traces,
+* :mod:`repro.obs.scrape` / :mod:`repro.obs.tsdb` — continuous
+  monitoring: a :class:`Scraper` samples any registry producer on a
+  simulated-time cadence into a ring-buffer :class:`Tsdb` with
+  query-time recording rules (``rate``/``increase``/quantiles),
+* :mod:`repro.obs.slo` — declarative objectives evaluated as
+  multi-window burn-rate alerts over the Tsdb timeline,
+* :mod:`repro.obs.profile` / :mod:`repro.obs.flame` — a
+  cycle-attribution profiler folding span trees into collapsed-stack
+  flame graphs split by the shield/copy/host/transition components.
 
-Tracing is **zero-cost in simulated time** (spans only read the clock,
-never advance it) and near-zero in host time when disabled: every hook
-is a single ``host.tracer is None`` check.
+Tracing and monitoring are **zero-cost in simulated time** (spans and
+scrapes only read the clock, never advance it) and near-zero in host
+time when disabled: every hook is a single ``host.tracer is None`` /
+``host.monitor is None`` check.
 """
 
 from repro.obs.export import (
@@ -42,18 +52,48 @@ from repro.obs.collect import (
     collect_testbed_metrics,
     trace_registration,
 )
+from repro.obs.tsdb import Tsdb, TsdbSeries
+from repro.obs.scrape import Scraper
+from repro.obs.slo import (
+    Alert,
+    BurnRateWindow,
+    RatioSlo,
+    SloEngine,
+    ThresholdSlo,
+    default_slos,
+)
+from repro.obs.flame import collapsed_text, parse_collapsed_text
+from repro.obs.profile import (
+    RegistrationProfile,
+    fold_registration,
+    profile_registration,
+)
 
 __all__ = [
+    "Alert",
+    "BurnRateWindow",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RatioSlo",
+    "RegistrationProfile",
     "RegistrationTrace",
+    "Scraper",
+    "SloEngine",
     "Span",
     "SpanNestingError",
+    "ThresholdSlo",
     "Tracer",
+    "Tsdb",
+    "TsdbSeries",
+    "collapsed_text",
     "collect_testbed_metrics",
+    "default_slos",
+    "fold_registration",
+    "parse_collapsed_text",
     "parse_prometheus_text",
+    "profile_registration",
     "registration_breakdown",
     "registry_from_dict",
     "registry_to_dict",

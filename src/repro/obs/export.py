@@ -123,6 +123,14 @@ def registry_to_prometheus_text(registry: MetricsRegistry) -> str:
         _type_line(name, "summary")
         lines.append(f"{name}_count{_format_labels(labels)} {histogram.count}")
         lines.append(f"{name}_sum{_format_labels(labels)} {histogram.total}")
+        # Histogram-style cumulative terminal bucket: every observation
+        # is <= +Inf, so the bucket equals the count — downstream tools
+        # that compute histogram_quantile() get a well-formed series even
+        # for an empty histogram (count 0).
+        inf_bucket = (("le", "+Inf"),)
+        lines.append(
+            f"{name}_bucket{_format_labels(labels, inf_bucket)} {histogram.count}"
+        )
         if histogram.minimum is not None:
             lines.append(f"{name}_min{_format_labels(labels)} {histogram.minimum}")
             lines.append(f"{name}_max{_format_labels(labels)} {histogram.maximum}")

@@ -14,6 +14,7 @@ is get-or-create, so instrumentation code never needs to pre-declare.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.experiments.stats import percentiles
@@ -28,27 +29,46 @@ def _label_key(labels: Dict[str, str]) -> LabelItems:
 
 
 class Counter:
-    """A monotonically increasing integer."""
+    """A monotonically increasing integer with reset detection.
 
-    __slots__ = ("name", "labels", "value")
+    ``value`` is the exposed cumulative total; ``raw`` remembers the last
+    snapshot handed to :meth:`set`.  When a producer restarts (an NF dies
+    and revives under fault injection) its live counters start over from
+    zero — Prometheus-style, a *decrease* of the raw snapshot is treated
+    as a reset: the pre-reset total is banked and the post-reset value
+    counts on top, so ``value`` never goes backwards.
+    """
+
+    __slots__ = ("name", "labels", "value", "raw")
 
     def __init__(self, name: str, labels: LabelItems) -> None:
         self.name = name
         self.labels = labels
         self.value = 0
+        self.raw = 0
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease ({amount})")
         self.value += amount
+        self.raw += amount
 
     def set(self, value: int) -> None:
-        """Snapshot-style assignment (pull collection from live objects)."""
-        if value < self.value:
+        """Snapshot-style assignment (pull collection from live objects).
+
+        Monotone snapshot sequences behave as plain assignment
+        (``value`` tracks the snapshot exactly); a snapshot below the
+        previous one marks a producer restart and accumulates instead.
+        """
+        if value < 0:
             raise ValueError(
-                f"counter {self.name} cannot decrease ({self.value} -> {value})"
+                f"counter {self.name} cannot hold a negative value ({value})"
             )
-        self.value = value
+        if value < self.raw:  # producer restarted: bank the old total
+            self.value += value
+        else:
+            self.value += value - self.raw
+        self.raw = value
 
 
 class Gauge:
@@ -62,7 +82,12 @@ class Gauge:
         self.value = 0.0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(
+                f"gauge {self.name} cannot hold non-finite value {value!r}"
+            )
+        self.value = value
 
 
 class Histogram:
@@ -82,6 +107,12 @@ class Histogram:
         self.series = series if series is not None else BoundedSeries(cap)
 
     def observe(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(
+                f"histogram {self.name} cannot observe non-finite value "
+                f"{value!r}"
+            )
         self.series.append(value)
 
     # Aggregates are exact over everything ever observed; quantiles come
@@ -146,11 +177,19 @@ class MetricsRegistry:
     def histogram_from_series(
         self, name: str, series: BoundedSeries, **labels: str
     ) -> Histogram:
-        """Adopt a live series (pull collection; no copy, no hot-path cost)."""
+        """Adopt a live series (pull collection; no copy, no hot-path cost).
+
+        Handing in a *different* series object for an existing metric
+        re-adopts it: a restarted producer allocates fresh series, and a
+        persistent registry must follow the live object rather than keep
+        reading the dead one.
+        """
         key = (name, _label_key(labels))
         metric = self._histograms.get(key)
         if metric is None:
             metric = self._histograms[key] = Histogram(name, key[1], series=series)
+        elif metric.series is not series:
+            metric.series = series
         return metric
 
     # ----------------------------------------------------------- iterate

@@ -1,0 +1,116 @@
+"""Periodic pull of metrics registries into a :class:`~repro.obs.tsdb.Tsdb`.
+
+A :class:`Scraper` owns a *collect* callable that snapshots any
+``MetricsRegistry`` producer — the usual one wraps
+:func:`repro.obs.collect.collect_testbed_metrics`, which reaches the
+HTTP servers/clients, NF circuit breakers, enclave ``SgxStats`` and the
+fault injector in one pull.  The scraper is driven by ``tick()`` calls
+from the simulation (end of each registration, each ``Testbed.idle``
+slice); it samples whenever simulated time has crossed the next
+cadence-grid deadline.
+
+Scrapes are pull-only: they never advance the simulated clock, never
+draw randomness, and each snapshot goes into a *fresh* registry, so an
+armed scraper leaves golden clocks byte-identical.  When no scraper is
+installed the hook cost is one attribute read (``host.monitor is
+None``), mirroring the tracer contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tsdb import NS_PER_S, Tsdb
+
+
+class Scraper:
+    """Samples a registry producer on a simulated-time cadence."""
+
+    __slots__ = ("clock", "collect", "tsdb", "cadence_ns", "enabled",
+                 "scrapes", "_base_ns", "_next_ns")
+
+    def __init__(
+        self,
+        clock: Any,
+        collect: Callable[[], MetricsRegistry],
+        cadence_s: float = 1.0,
+        tsdb: Optional[Tsdb] = None,
+        series_cap: Optional[int] = None,
+    ) -> None:
+        cadence_ns = int(round(cadence_s * NS_PER_S))
+        if cadence_ns <= 0:
+            raise ValueError(f"cadence must be positive, got {cadence_s}")
+        self.clock = clock
+        self.collect = collect
+        self.tsdb = tsdb if tsdb is not None else Tsdb(cap=series_cap)
+        self.cadence_ns = cadence_ns
+        self.enabled = True
+        self.scrapes = 0
+        # Deadlines live on a grid anchored at install time, so the
+        # sample *schedule* is a pure function of (anchor, cadence) even
+        # though actual sample timestamps are the sim times of the
+        # tick() calls that crossed each deadline.
+        self._base_ns = 0
+        self._next_ns = 0
+
+    def install(self, host: Any) -> "Scraper":
+        """Attach to ``host.monitor``, anchor the grid, take a baseline."""
+        if getattr(host, "monitor", None) is not None:
+            raise RuntimeError("a monitor is already installed on this host")
+        host.monitor = self
+        self._base_ns = self.clock.now_ns
+        self._next_ns = self._base_ns + self.cadence_ns
+        self.scrape()
+        return self
+
+    def uninstall(self, host: Any) -> None:
+        if host.monitor is self:
+            host.monitor = None
+
+    def scrape(self) -> None:
+        """Take one sample now, regardless of the cadence grid."""
+        self.tsdb.ingest(self.collect(), self.clock.now_ns)
+        self.scrapes += 1
+
+    def tick(self) -> None:
+        """Sample iff simulated time crossed the next grid deadline.
+
+        At most one scrape per tick: with coarse tick sites (a paced
+        arrival loop) several deadlines may have elapsed, but replaying
+        them would only duplicate the same cumulative snapshot at
+        fabricated timestamps.  The deadline then re-aligns to the grid.
+        """
+        if not self.enabled:
+            return
+        now = self.clock.now_ns
+        if now < self._next_ns:
+            return
+        self.scrape()
+        elapsed = now - self._base_ns
+        self._next_ns = (
+            self._base_ns + (elapsed // self.cadence_ns + 1) * self.cadence_ns
+        )
+
+    @classmethod
+    def for_testbed(
+        cls,
+        testbed: Any,
+        cadence_s: float = 1.0,
+        fault_injector: Optional[Any] = None,
+        series_cap: Optional[int] = None,
+    ) -> "Scraper":
+        """Scraper over the whole testbed (plus optional fault injector)."""
+        from repro.obs.collect import collect_testbed_metrics
+
+        def collect() -> MetricsRegistry:
+            return collect_testbed_metrics(
+                testbed, fault_injector=fault_injector
+            )
+
+        return cls(
+            testbed.host.clock,
+            collect,
+            cadence_s=cadence_s,
+            series_cap=series_cap,
+        )

@@ -1,0 +1,249 @@
+"""A tiny time-series database over the simulated clock.
+
+The scraper (:mod:`repro.obs.scrape`) periodically snapshots a
+:class:`~repro.obs.metrics.MetricsRegistry` into this store; each metric
+becomes a :class:`TsdbSeries` of ``(sim_ts_ns, value)`` points keyed by
+``(name, labels)``, exactly how the registry keys metrics.  Retention
+follows the :class:`~repro.sim.metrics.BoundedSeries` contract: an
+optional cap ≥ 2, with appends beyond it dropping the oldest half of the
+retained window, so a long campaign's Tsdb stays bounded while recent
+history stays dense.
+
+Derived values are **recording rules computed at query time**, never
+materialised at ingest:
+
+* :meth:`Tsdb.increase` — Prometheus-style counter increase over a
+  window, treating a decrease as a counter reset (the pre-reset value is
+  banked and the post-reset value counts from zero),
+* :meth:`Tsdb.rate` — increase per second of window,
+* :meth:`Tsdb.quantile` — windowed quantile over a gauge's samples.
+
+Everything here only *reads* simulated time: ingesting or querying a
+Tsdb never advances the clock and never draws from an RNG, which is what
+lets an armed scraper leave golden clocks byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import LabelItems, MetricKey, MetricsRegistry, _label_key
+
+NS_PER_S = 1_000_000_000
+
+SamplePoint = Tuple[int, float]  # (sim_ts_ns, value)
+
+
+class TsdbSeries:
+    """One ``(name, labels)`` series of timestamped samples.
+
+    ``kind`` is ``"counter"`` (cumulative; query with increase/rate) or
+    ``"gauge"`` (point-in-time; query with latest/quantile).  Samples are
+    append-only with monotonically non-decreasing timestamps.
+    """
+
+    __slots__ = ("name", "labels", "kind", "cap", "samples")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems,
+        kind: str = "gauge",
+        cap: Optional[int] = None,
+    ) -> None:
+        if kind not in ("counter", "gauge"):
+            raise ValueError(f"unknown series kind {kind!r}")
+        if cap is not None and cap < 2:
+            raise ValueError(f"cap must be >= 2, got {cap}")
+        self.name = name
+        self.labels = labels
+        self.kind = kind
+        self.cap = cap
+        self.samples: List[SamplePoint] = []
+
+    def append(self, ts_ns: int, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(
+                f"series {self.name} cannot ingest non-finite sample {value!r}"
+            )
+        if self.samples and ts_ns < self.samples[-1][0]:
+            raise ValueError(
+                f"series {self.name}: timestamps must not go backwards "
+                f"({self.samples[-1][0]} -> {ts_ns})"
+            )
+        self.samples.append((int(ts_ns), value))
+        # BoundedSeries retention contract: beyond the cap, drop the
+        # oldest half of the retained window.
+        if self.cap is not None and len(self.samples) > self.cap:
+            del self.samples[: len(self.samples) // 2]
+
+    def latest(self) -> Optional[SamplePoint]:
+        return self.samples[-1] if self.samples else None
+
+    def window(self, start_ns: int, end_ns: int) -> List[SamplePoint]:
+        """Samples with ``start_ns <= ts <= end_ns`` (inclusive bounds)."""
+        return [s for s in self.samples if start_ns <= s[0] <= end_ns]
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TsdbSeries({self.name!r}, kind={self.kind!r}, "
+            f"n={len(self.samples)})"
+        )
+
+
+class Tsdb:
+    """Ring-buffer store of scraped metric samples on the simulated clock."""
+
+    def __init__(self, cap: Optional[int] = None) -> None:
+        self.cap = cap
+        self._series: Dict[MetricKey, TsdbSeries] = {}
+        # Every ingest timestamp, in order — the SLO engine replays these.
+        self.scrape_times: List[int] = []
+
+    # ------------------------------------------------------------- series
+
+    def series(self, name: str, kind: str = "gauge", **labels: str) -> TsdbSeries:
+        """Get-or-create the series for ``(name, labels)``."""
+        key = (name, _label_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = TsdbSeries(
+                name, key[1], kind=kind, cap=self.cap
+            )
+        elif series.kind != kind:
+            raise ValueError(
+                f"series {name} already exists with kind {series.kind!r}, "
+                f"not {kind!r}"
+            )
+        return series
+
+    def get(self, name: str, **labels: str) -> Optional[TsdbSeries]:
+        return self._series.get((name, _label_key(labels)))
+
+    def all_series(self) -> List[TsdbSeries]:
+        return [self._series[key] for key in sorted(self._series)]
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    # ------------------------------------------------------------- ingest
+
+    def ingest(self, registry: MetricsRegistry, ts_ns: int) -> None:
+        """Pull one registry snapshot into the store at simulated ``ts_ns``.
+
+        Counters and gauges land verbatim; histograms land as cumulative
+        ``_count`` / ``_sum`` counter series (quantiles are windowed
+        recording rules at query time, never materialised here).
+        """
+        for counter in registry.counters():
+            self._ingest_one(counter.name, counter.labels, "counter",
+                             ts_ns, float(counter.value))
+        for gauge in registry.gauges():
+            self._ingest_one(gauge.name, gauge.labels, "gauge",
+                             ts_ns, gauge.value)
+        for histogram in registry.histograms():
+            self._ingest_one(histogram.name + "_count", histogram.labels,
+                             "counter", ts_ns, float(histogram.count))
+            self._ingest_one(histogram.name + "_sum", histogram.labels,
+                             "counter", ts_ns, float(histogram.total))
+        self.scrape_times.append(int(ts_ns))
+
+    def _ingest_one(
+        self, name: str, labels: LabelItems, kind: str, ts_ns: int, value: float
+    ) -> None:
+        key = (name, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = TsdbSeries(
+                name, labels, kind=kind, cap=self.cap
+            )
+        series.append(ts_ns, value)
+
+    # ---------------------------------------------------- recording rules
+
+    def increase(
+        self, name: str, window_ns: int, at_ns: int, **labels: str
+    ) -> float:
+        """Counter increase over ``[at_ns - window_ns, at_ns]``.
+
+        Prometheus-style reset handling: a sample lower than its
+        predecessor means the producer restarted — the positive deltas on
+        either side of the reset are summed, and the post-reset value
+        counts from zero.  Returns 0.0 with fewer than two samples.
+        """
+        series = self.get(name, **labels)
+        if series is None:
+            return 0.0
+        window = series.window(at_ns - window_ns, at_ns)
+        if len(window) < 2:
+            return 0.0
+        total = 0.0
+        previous = window[0][1]
+        for _, value in window[1:]:
+            total += value - previous if value >= previous else value
+            previous = value
+        return total
+
+    def rate(self, name: str, window_ns: int, at_ns: int, **labels: str) -> float:
+        """Per-second :meth:`increase` over the window."""
+        if window_ns <= 0:
+            raise ValueError(f"window must be positive: {window_ns}")
+        return self.increase(name, window_ns, at_ns, **labels) / (
+            window_ns / NS_PER_S
+        )
+
+    def quantile(
+        self, name: str, q: float, window_ns: int, at_ns: int, **labels: str
+    ) -> Optional[float]:
+        """Windowed quantile (``q`` in percent) over a gauge's samples.
+
+        ``None`` when the window holds no samples — the empty-window
+        contract :func:`repro.experiments.stats.percentiles` defines.
+        """
+        from repro.experiments.stats import percentiles
+
+        series = self.get(name, **labels)
+        if series is None:
+            return None
+        values = [v for _, v in series.window(at_ns - window_ns, at_ns)]
+        return percentiles(values, (q,))[0]
+
+    def windowed_mean(
+        self,
+        basename: str,
+        window_ns: int,
+        at_ns: int,
+        **labels: str,
+    ) -> Optional[float]:
+        """Mean of a histogram over the window: Δ``_sum`` / Δ``_count``.
+
+        The textbook PromQL ``rate(x_sum[w]) / rate(x_count[w])``;
+        ``None`` when the window saw no new observations.
+        """
+        count = self.increase(basename + "_count", window_ns, at_ns, **labels)
+        if count <= 0:
+            return None
+        return self.increase(basename + "_sum", window_ns, at_ns, **labels) / count
+
+    # ------------------------------------------------------------- export
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic, JSON-ready dump (bit-identical per seeded run)."""
+        return {
+            "cap": self.cap,
+            "scrape_times": list(self.scrape_times),
+            "series": [
+                {
+                    "name": series.name,
+                    "labels": {k: v for k, v in series.labels},
+                    "kind": series.kind,
+                    "samples": [[ts, value] for ts, value in series.samples],
+                }
+                for series in self.all_series()
+            ],
+        }

@@ -162,6 +162,12 @@ class Gnb:
 
         if ue.registered:
             self.registrations_succeeded += 1
+        # Continuous monitoring: let an installed scraper sample at the
+        # registration boundary (pull-only; after the measure window and
+        # all spans closed, so clocks and traces are unaffected).
+        monitor = self.host.monitor
+        if monitor is not None:
+            monitor.tick()
         return RegistrationOutcome(
             success=ue.registered,
             supi=str(ue.usim.supi) if ue.registered else None,

@@ -64,6 +64,31 @@ def test_prometheus_round_trip():
     ) in samples
 
 
+def test_prometheus_inf_bucket_carries_cumulative_count():
+    registry = _sample_registry()
+    samples = parse_prometheus_text(registry_to_prometheus_text(registry))
+    assert samples[
+        ("http_lf_us_bucket", (("le", "+Inf"), ("server", "eudm-paka-srv-0")))
+    ] == 4.0
+
+
+def test_empty_histogram_exports_in_both_formats():
+    """A registered-but-never-observed histogram must not crash either
+    exporter: count/sum are zero, quantile/min/max samples are absent."""
+    registry = MetricsRegistry()
+    registry.histogram("idle_us", server="udr")
+    text = registry_to_prometheus_text(registry)
+    samples = parse_prometheus_text(text)
+    assert samples[("idle_us_count", (("server", "udr"),))] == 0.0
+    assert samples[("idle_us_sum", (("server", "udr"),))] == 0.0
+    assert samples[("idle_us_bucket", (("le", "+Inf"), ("server", "udr")))] == 0.0
+    assert not any(
+        name == "idle_us" for name, _ in samples
+    ), "no quantile samples for an empty window"
+    rebuilt = registry_from_dict(registry_to_dict(registry))
+    assert registry_to_json(rebuilt) == registry_to_json(registry)
+
+
 def test_prometheus_type_comment_once_per_name():
     registry = MetricsRegistry()
     registry.counter("x_total", nf="amf").set(1)

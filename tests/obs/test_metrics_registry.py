@@ -15,9 +15,27 @@ def test_counter_monotonic():
     with pytest.raises(ValueError):
         counter.inc(-1)
     with pytest.raises(ValueError):
-        counter.set(2)
+        counter.set(-2)
     counter.set(9)
     assert counter.value == 9
+
+
+def test_counter_set_banks_total_across_resets():
+    """Prometheus reset semantics: a decrease means the producer restarted.
+
+    ``set`` tracks the raw snapshot; a drop below the last raw value banks
+    the accumulated total and starts counting the new incarnation from
+    zero, so the cumulative ``value`` never goes backwards.
+    """
+    counter = Counter("served_total", ())
+    counter.set(10)
+    counter.set(25)
+    assert counter.value == 25
+    counter.set(3)  # restart: 25 banked, new process already served 3
+    assert counter.value == 28
+    counter.set(7)
+    assert counter.value == 32
+    assert counter.raw == 7
 
 
 def test_gauge_moves_both_ways():
@@ -26,6 +44,25 @@ def test_gauge_moves_both_ways():
     gauge.set(3)
     gauge.set(1.5)
     assert gauge.value == 1.5
+
+
+def test_gauge_rejects_non_finite():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("temperature")
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(ValueError):
+            gauge.set(bad)
+    gauge.set(2.5)
+    assert gauge.value == 2.5
+
+
+def test_histogram_rejects_non_finite():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency_us")
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(ValueError):
+            histogram.observe(bad)
+    assert histogram.count == 0
 
 
 def test_registry_get_or_create_by_name_and_labels():
