@@ -7,8 +7,14 @@ can be tracked with hard numbers:
 
 * one-shot AES blocks/s      — ``aes128_encrypt_block`` per call
 * keyed AES blocks/s         — ``AES128.encrypt_block`` on a held cipher
+* MILENAGE vectors/s         — full f1 + f2345 authentication vectors on
+                               a held ``Milenage`` (the AKA crypto core)
+* SBI roundtrips/s           — ``dumps_flat``/``loads_object`` over a
+                               representative registration body set
 * registrations/s            — stable-regime 5G-AKA registrations on a
                                warmed SGX testbed (the simulator hot path)
+* capacity regs/s (opt-in)   — host wall over a full ``--capacity N``
+                               UE campaign (the 10k/100k-UE scale runs)
 * suite wall-clock (opt-in)  — one full ``pytest benchmarks`` run
 
 Results land in ``BENCH_hostperf.json`` at the repo root; each invocation
@@ -38,7 +44,11 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hostperf.json"
 
 BLOCK_BATCH = 20_000
-REGISTRATIONS = 20
+# Post-rewrite a registration costs ~3 ms of host time, so 100 samples
+# is still sub-second; at 10–20 samples the regs/s rate swung ±15% on a
+# noisy host, which is too loose for a --fail-below floor.
+REGISTRATIONS = 100
+QUICK_REGISTRATIONS = 30
 
 
 def measure_aes_blocks(batch: int = BLOCK_BATCH) -> dict:
@@ -78,6 +88,91 @@ def measure_aes_blocks(batch: int = BLOCK_BATCH) -> dict:
     }
 
 
+def measure_milenage(batch: int = BLOCK_BATCH // 4) -> dict:
+    """Full MILENAGE authentication vectors/s on a held ``Milenage``.
+
+    One vector is the batched f1 + f2345 pass (MAC-A, RES, CK, IK, AK) —
+    the UDM/USIM cost of every 5G-AKA run, and the unit the bulk-crypto
+    rewrite optimises.  RAND varies per call so the per-RAND TEMP cache
+    cannot short-circuit the measurement.
+    """
+    from repro.crypto.milenage import Milenage
+
+    mil = Milenage(bytes(range(16)), bytes(range(16, 32)))
+    sqn = bytes(6)
+    amf = b"\x80\x00"
+    rands = [i.to_bytes(16, "big") for i in range(batch)]
+
+    generate = mil.generate
+    start = time.perf_counter()
+    for rand in rands:
+        generate(rand, sqn, amf)
+    wall_s = time.perf_counter() - start
+
+    return {
+        "vector_batch": batch,
+        "milenage_vectors_per_s": round(batch / wall_s, 1),
+    }
+
+
+def measure_sbi_roundtrips(batch: int = BLOCK_BATCH // 4) -> dict:
+    """Serialize+parse roundtrips/s over a registration's SBI body set.
+
+    One roundtrip pushes a representative mix of the ~14 flat JSON bodies
+    a registration exchanges (auth vectors, SUCI resolution, confirmation,
+    session setup) through ``dumps_flat`` and back through
+    ``loads_object`` — the fast-serialization layer's unit of work.
+    """
+    from repro.net.codec import dumps_flat, loads_object
+
+    bodies = [
+        {"supi": "imsi-001010000000001", "servingNetworkName": "5G:mnc001.mcc001.3gppnetwork.org"},
+        {
+            "rand": "00112233445566778899aabbccddeeff",
+            "autn": "ffeeddccbbaa99887766554433221100",
+            "hxresStar": "0f1e2d3c4b5a69788796a5b4c3d2e1f0" * 2,
+            "authCtxId": "ctx-000001",
+        },
+        {"resStar": "f0e1d2c3b4a5968778695a4b3c2d1e0f" * 2},
+        {"authResult": "AUTHENTICATION_SUCCESS", "supi": "imsi-001010000000001", "kseaf": "00" * 32},
+        {"pduSessionId": 1, "dnn": "internet", "sscMode": 1, "established": True},
+    ]
+
+    start = time.perf_counter()
+    for _ in range(batch):
+        for body in bodies:
+            loads_object(dumps_flat(body))
+    wall_s = time.perf_counter() - start
+
+    return {
+        "roundtrip_batch": batch,
+        "bodies_per_roundtrip": len(bodies),
+        "sbi_roundtrips_per_s": round(batch / wall_s, 1),
+    }
+
+
+def measure_capacity(ues: int) -> dict:
+    """Host wall-clock over one full capacity campaign (``ues`` UEs).
+
+    The campaign's committed report carries only simulated results; the
+    host-side throughput of producing them belongs here, next to the
+    other wall-clock numbers, so the 10k/100k-UE scale arms gate on it.
+    """
+    from repro.experiments.capacity import capacity_campaign
+
+    start = time.perf_counter()
+    report = capacity_campaign(ues=ues)
+    wall_s = time.perf_counter() - start
+
+    return {
+        "ues": ues,
+        "wall_s": round(wall_s, 2),
+        "host_regs_per_s": round(ues / wall_s, 2),
+        "success_rate": report.derived["success_rate"],
+        "simulated_regs_per_s": report.derived["simulated_regs_per_s"],
+    }
+
+
 def measure_registrations(registrations: int = REGISTRATIONS) -> dict:
     """Wall-clock for stable-regime registrations on a warmed SGX testbed."""
     from repro.experiments.harness import warmed_testbed
@@ -99,85 +194,105 @@ def measure_registrations(registrations: int = REGISTRATIONS) -> dict:
     }
 
 
-def measure_tracer_overhead(registrations: int = REGISTRATIONS, repeats: int = 3) -> dict:
+# Overhead gates compare two arms whose true difference is ~1% — far
+# below this-host noise (CPU steal, allocator state, GC pauses) at any
+# whole-arm granularity.  The estimator therefore pairs the arms at
+# *registration* granularity on two identically seeded testbeds, times
+# each registration of each arm back to back with GC paused, and takes a
+# trimmed mean of the per-pair deltas (the noisiest 10% of pairs by
+# |delta| dropped).  Whole-arm best-of-N was ±10% on the same host; this
+# lands within ±1.5%.
+OVERHEAD_REGISTRATIONS = 150
+_TRIM_FRACTION = 0.10
+
+
+def _paired_overhead(arm, registrations: int) -> dict:
+    """Percent host-time overhead of ``arm(testbed)`` vs an untouched twin."""
+    import gc
+
+    from repro.experiments.harness import warmed_testbed
+    from repro.paka.deploy import IsolationMode
+
+    control = warmed_testbed(IsolationMode.SGX, seed=7)
+    armed = warmed_testbed(IsolationMode.SGX, seed=7)
+    arm(armed)
+
+    def one(testbed) -> float:
+        ue = testbed.add_subscriber()
+        start = time.perf_counter()
+        outcome = testbed.register(ue, establish_session=False)
+        elapsed = time.perf_counter() - start
+        if not outcome.success:
+            raise RuntimeError(f"registration failed: {outcome.failure_cause}")
+        return elapsed
+
+    bases = []
+    deltas = []
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(registrations):
+            base = one(control)
+            bases.append(base)
+            deltas.append(one(armed) - base)
+    finally:
+        gc.enable()
+
+    order = sorted(range(registrations), key=lambda i: abs(deltas[i]))
+    keep = order[: registrations - int(registrations * _TRIM_FRACTION)]
+    base_s = sum(bases[i] for i in keep)
+    armed_s = base_s + sum(deltas[i] for i in keep)
+    return {
+        "registrations": registrations,
+        "trimmed_pairs": registrations - len(keep),
+        "base_wall_s": round(base_s, 4),
+        "armed_wall_s": round(armed_s, 4),
+        "overhead_percent": round(100.0 * (armed_s / base_s - 1.0), 2),
+    }
+
+
+def measure_tracer_overhead(registrations: int = OVERHEAD_REGISTRATIONS) -> dict:
     """Host-time cost of the *disabled* instrumentation hooks.
 
     Compares registrations with ``host.tracer = None`` (the default)
     against an attached-but-disabled ``Tracer`` — the worst case for the
-    always-on guard checks (~1 080 OCALL hooks per registration).  Uses
-    best-of-N wall times so scheduler noise doesn't dominate the ratio.
+    always-on guard checks (~1 080 OCALL hooks per registration).
     """
-    from repro.experiments.harness import warmed_testbed
     from repro.obs.trace import Tracer
-    from repro.paka.deploy import IsolationMode
 
-    def one_wall_s(tracer_factory) -> float:
-        testbed = warmed_testbed(IsolationMode.SGX, seed=7)
-        testbed.host.tracer = tracer_factory(testbed)
-        start = time.perf_counter()
-        for _ in range(registrations):
-            ue = testbed.add_subscriber()
-            outcome = testbed.register(ue, establish_session=False)
-            if not outcome.success:
-                raise RuntimeError(f"registration failed: {outcome.failure_cause}")
-        return time.perf_counter() - start
-
-    # Interleave the two arms so host-side drift (frequency scaling,
-    # allocator warm-up, noisy neighbours) hits both equally; best-of-N
-    # per arm then compares the cleanest sample of each.
-    none_s = float("inf")
-    disabled_s = float("inf")
-    for _ in range(repeats):
-        none_s = min(none_s, one_wall_s(lambda testbed: None))
-        disabled_s = min(
-            disabled_s,
-            one_wall_s(lambda testbed: Tracer(testbed.host.clock, enabled=False)),
-        )
+    result = _paired_overhead(
+        lambda tb: setattr(tb.host, "tracer", Tracer(tb.host.clock, enabled=False)),
+        registrations,
+    )
     return {
-        "registrations": registrations,
-        "repeats": repeats,
-        "tracer_none_wall_s": round(none_s, 4),
-        "tracer_disabled_wall_s": round(disabled_s, 4),
-        "disabled_overhead_percent": round(100.0 * (disabled_s / none_s - 1.0), 2),
+        "registrations": result["registrations"],
+        "trimmed_pairs": result["trimmed_pairs"],
+        "tracer_none_wall_s": result["base_wall_s"],
+        "tracer_disabled_wall_s": result["armed_wall_s"],
+        "disabled_overhead_percent": result["overhead_percent"],
     }
 
 
-def measure_monitor_overhead(registrations: int = REGISTRATIONS, repeats: int = 3) -> dict:
+def measure_monitor_overhead(registrations: int = OVERHEAD_REGISTRATIONS) -> dict:
     """Host-time cost of an *armed* continuous-monitoring scraper.
 
     Compares registrations with ``host.monitor = None`` (the default)
     against a fully installed :class:`~repro.obs.scrape.Scraper` on the
     standard 1 s simulated-time cadence — hook checks on every
     registration plus whatever scrapes actually land on the timeline.
-    Same interleaved best-of-N discipline as the tracer measurement.
     """
-    from repro.experiments.harness import warmed_testbed
     from repro.obs.scrape import Scraper
-    from repro.paka.deploy import IsolationMode
 
-    def one_wall_s(armed: bool) -> float:
-        testbed = warmed_testbed(IsolationMode.SGX, seed=7)
-        if armed:
-            Scraper.for_testbed(testbed, cadence_s=1.0).install(testbed.host)
-        start = time.perf_counter()
-        for _ in range(registrations):
-            ue = testbed.add_subscriber()
-            outcome = testbed.register(ue, establish_session=False)
-            if not outcome.success:
-                raise RuntimeError(f"registration failed: {outcome.failure_cause}")
-        return time.perf_counter() - start
-
-    none_s = float("inf")
-    armed_s = float("inf")
-    for _ in range(repeats):
-        none_s = min(none_s, one_wall_s(False))
-        armed_s = min(armed_s, one_wall_s(True))
+    result = _paired_overhead(
+        lambda tb: Scraper.for_testbed(tb, cadence_s=1.0).install(tb.host),
+        registrations,
+    )
     return {
-        "registrations": registrations,
-        "repeats": repeats,
-        "monitor_none_wall_s": round(none_s, 4),
-        "monitor_armed_wall_s": round(armed_s, 4),
-        "armed_overhead_percent": round(100.0 * (armed_s / none_s - 1.0), 2),
+        "registrations": result["registrations"],
+        "trimmed_pairs": result["trimmed_pairs"],
+        "monitor_none_wall_s": result["base_wall_s"],
+        "monitor_armed_wall_s": result["armed_wall_s"],
+        "armed_overhead_percent": result["overhead_percent"],
     }
 
 
@@ -228,6 +343,14 @@ def main(argv=None) -> int:
         help="exit non-zero if registrations/s lands below this floor",
     )
     parser.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        metavar="UES",
+        help="also wall-clock one full capacity campaign of this many UEs "
+        "(10_000 = the paper-scale run; 100_000 = the CI smoke arm)",
+    )
+    parser.add_argument(
         "--tracer-gate",
         type=float,
         default=None,
@@ -246,18 +369,25 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     block_batch = BLOCK_BATCH // 5 if args.quick else BLOCK_BATCH
-    registrations = max(10, REGISTRATIONS // 2) if args.quick else REGISTRATIONS
+    registrations = QUICK_REGISTRATIONS if args.quick else REGISTRATIONS
 
     run = {
         "label": args.label,
         "python": platform.python_version(),
         "aes": measure_aes_blocks(block_batch),
+        "milenage": measure_milenage(block_batch // 4),
+        "sbi": measure_sbi_roundtrips(block_batch // 4),
         "registration": measure_registrations(registrations),
     }
+    if args.capacity is not None:
+        run["capacity"] = measure_capacity(args.capacity)
+    # Gate measurements always use the full paired-sample count: the
+    # estimator needs ~150 pairs for a stable trimmed mean, and --quick
+    # shrinking them would just make the gate flaky.
     if args.tracer_gate is not None:
-        run["tracer_overhead"] = measure_tracer_overhead(registrations)
+        run["tracer_overhead"] = measure_tracer_overhead()
     if args.monitor_gate is not None:
-        run["monitor_overhead"] = measure_monitor_overhead(registrations)
+        run["monitor_overhead"] = measure_monitor_overhead()
     if args.suite:
         run.update(measure_suite())
 
@@ -277,13 +407,22 @@ def main(argv=None) -> int:
         print(f"recorded -> {args.output}")
 
     regs_per_s = run["registration"]["registrations_per_s"]
-    if args.fail_below is not None and regs_per_s < args.fail_below:
+    if args.fail_below is not None:
+        if regs_per_s < args.fail_below:
+            print(
+                f"FAIL: {regs_per_s} registrations/s below the "
+                f"--fail-below floor of {args.fail_below}",
+                file=sys.stderr,
+            )
+            return 1
+    elif args.quick:
+        # Smoke runs without an explicit gate still print the number a
+        # --fail-below would have judged, so CI logs always show where
+        # this host stands relative to the committed floor.
         print(
-            f"FAIL: {regs_per_s} registrations/s below the "
-            f"--fail-below floor of {args.fail_below}",
-            file=sys.stderr,
+            f"note: {regs_per_s} registrations/s measured; no --fail-below "
+            f"floor enforced on this run"
         )
-        return 1
     if args.tracer_gate is not None:
         overhead = run["tracer_overhead"]["disabled_overhead_percent"]
         if overhead > args.tracer_gate:

@@ -1,0 +1,113 @@
+"""Host-side sampling profiler for the registration hot path.
+
+``repro profile --collapsed`` folds *simulated* nanoseconds out of the
+span tree — by design it is bit-identical across host-perf rewrites, so
+it cannot show where the *host* CPU goes.  This script samples the real
+interpreter stack (``sys._current_frames()`` from a watcher thread, the
+same technique py-spy uses in-process) while the simulator runs
+registrations, and folds the samples into the standard collapsed-stack
+format via :func:`repro.obs.flame.collapsed_text`.
+
+The committed before/after profiles in ``benchmarks/profiles/`` are the
+evidence trail for the profiler-guided hot-path rewrite::
+
+    PYTHONPATH=src python benchmarks/host_profile.py \
+        --registrations 200 --out benchmarks/profiles/registration_host.collapsed
+
+Sampling is wall-clock and therefore not deterministic run-to-run; the
+profiles are diagnostics, never inputs to any experiment or test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from collections import Counter
+
+
+def _fold_frame(frame) -> tuple:
+    stack = []
+    while frame is not None:
+        code = frame.f_code
+        # No spaces in the label: the collapsed grammar's sample count is
+        # whatever follows the last space on the line.
+        stack.append(f"{code.co_filename.rsplit('/', 1)[-1]}:{code.co_name}")
+        frame = frame.f_back
+    return tuple(reversed(stack))
+
+
+class StackSampler:
+    """Samples one target thread's Python stack at a fixed interval."""
+
+    def __init__(self, target_thread_id: int, interval_s: float = 0.001) -> None:
+        self.target_thread_id = target_thread_id
+        self.interval_s = interval_s
+        self.samples: Counter = Counter()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            frame = sys._current_frames().get(self.target_thread_id)
+            if frame is not None:
+                self.samples[_fold_frame(frame)] += 1
+            time.sleep(self.interval_s)
+
+    def __enter__(self) -> "StackSampler":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join()
+
+
+def profile_registrations(registrations: int, interval_us: int) -> Counter:
+    from repro.experiments.harness import warmed_testbed
+    from repro.paka.deploy import IsolationMode
+
+    testbed = warmed_testbed(IsolationMode.SGX, seed=7)
+    subscribers = [testbed.add_subscriber() for _ in range(registrations)]
+    sampler = StackSampler(threading.get_ident(), interval_us / 1e6)
+    with sampler:
+        for ue in subscribers:
+            outcome = testbed.register(ue, establish_session=False)
+            if not outcome.success:
+                raise RuntimeError(f"registration failed: {outcome.failure_cause}")
+    return sampler.samples
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--registrations", type=int, default=200)
+    parser.add_argument(
+        "--interval-us", type=int, default=1000,
+        help="sampling interval in microseconds (default 1000 = 1 kHz)",
+    )
+    parser.add_argument(
+        "--out", default="-",
+        help="output file for the collapsed stacks (default: stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.flame import collapsed_text
+
+    samples = profile_registrations(args.registrations, args.interval_us)
+    text = collapsed_text(dict(samples))
+    if args.out == "-":
+        print(text)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        total = sum(samples.values())
+        print(
+            f"{total} samples over {args.registrations} registrations "
+            f"-> {args.out}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,7 @@ from repro.crypto.kdf import (
     derive_kseaf,
     derive_res_star,
 )
-from repro.crypto.milenage import Milenage
+from repro.crypto.milenage import milenage_for
 
 # Authentication Management Field with the "separation bit" set, mandatory
 # for 5G-AKA (TS 33.102 Annex H / TS 33.501 §6.1.3.2).
@@ -75,7 +75,7 @@ def generate_he_av(
     Executes MILENAGE f1–f5, assembles AUTN, derives RES → XRES* and
     K_AUSF per TS 33.501 Annex A.
     """
-    milenage = Milenage(k, opc)
+    milenage = milenage_for(k, opc)
     vector = milenage.generate(rand, sqn, amf_field)
     autn = build_autn(sqn, vector.ak, amf_field, vector.mac_a)
     sqn_xor_ak = autn[:6]
@@ -113,7 +113,7 @@ def verify_auts(
     validate the UE's AUTS token and recover its SQN_MS, or ``None``."""
     if len(auts) != 14:
         return None
-    milenage = Milenage(k, opc)
+    milenage = milenage_for(k, opc)
     vector = milenage.f2345(rand)
     sqn_ms = bytes(c ^ a for c, a in zip(auts[:6], vector.ak_star))
     _, expected_mac_s = milenage.f1(rand, sqn_ms, bytes(2))

@@ -183,8 +183,11 @@ class AES128:
             self._hw_algo: Optional[object] = algo
             # ECB contexts are stateless per block, so one encryptor /
             # decryptor pair serves every block-API call on this key.
+            # Every hot user (CTR, CBC-MAC, MILENAGE, block encrypt)
+            # needs the encryptor; decryption is rare, so that context
+            # is only built on first use.
             self._hw_ecb_enc = _HwCipher(algo, _hw_modes.ECB()).encryptor()
-            self._hw_ecb_dec = _HwCipher(algo, _hw_modes.ECB()).decryptor()
+            self._hw_ecb_dec = None
             self._ek_lazy: "Tuple[int, ...] | None" = None  # pure path unused
         else:
             self._hw_algo = self._hw_ecb_enc = self._hw_ecb_dec = None
@@ -236,11 +239,129 @@ class AES128:
               | (sbox[(s1 >> 8) & 0xFF] << 8) | sbox[s2 & 0xFF]) ^ ek[43]
         return ((r0 << 96) | (r1 << 64) | (r2 << 32) | r3).to_bytes(16, "big")
 
+    def encrypt_blocks(self, data: bytes) -> bytes:
+        """ECB-encrypt ``data`` (a concatenation of independent 16-byte
+        blocks) in one pass.
+
+        Byte-identical to ``b"".join(encrypt_block(b) for b in blocks)``;
+        the hardware backend handles the whole buffer in a single
+        ``update`` call, and the pure path inlines the T-table rounds so
+        the tables, S-box and boundary round keys bind to locals once for
+        the entire batch (the bulk-CTR pattern applied to ECB).  MILENAGE
+        uses this to run all of a vector's post-TEMP encryptions as one
+        multi-block pass.
+        """
+        n = len(data)
+        if n % 16:
+            raise ValueError(f"ECB batch must be a multiple of 16 bytes, got {n}")
+        if n == 0:
+            return b""
+        hw = self._hw_ecb_enc
+        if hw is not None:
+            return hw.update(data)
+        ek = self._ek
+        t0, t1, t2, t3 = _T0, _T1, _T2, _T3
+        sbox = _SBOX
+        ek0, ek1, ek2, ek3 = ek[0], ek[1], ek[2], ek[3]
+        ek40, ek41, ek42, ek43 = ek[40], ek[41], ek[42], ek[43]
+        nblocks = n // 16
+        src = int.from_bytes(data, "big")
+        mask = _MASK128
+        out = 0
+        shift = (nblocks - 1) * 128
+        for _ in range(nblocks):
+            block = (src >> shift) & mask
+            shift -= 128
+            s0 = ((block >> 96) & 0xFFFFFFFF) ^ ek0
+            s1 = ((block >> 64) & 0xFFFFFFFF) ^ ek1
+            s2 = ((block >> 32) & 0xFFFFFFFF) ^ ek2
+            s3 = (block & 0xFFFFFFFF) ^ ek3
+            k = 4
+            for _ in range(9):
+                r0 = t0[s0 >> 24] ^ t1[(s1 >> 16) & 0xFF] ^ t2[(s2 >> 8) & 0xFF] ^ t3[s3 & 0xFF] ^ ek[k]
+                r1 = t0[s1 >> 24] ^ t1[(s2 >> 16) & 0xFF] ^ t2[(s3 >> 8) & 0xFF] ^ t3[s0 & 0xFF] ^ ek[k + 1]
+                r2 = t0[s2 >> 24] ^ t1[(s3 >> 16) & 0xFF] ^ t2[(s0 >> 8) & 0xFF] ^ t3[s1 & 0xFF] ^ ek[k + 2]
+                r3 = t0[s3 >> 24] ^ t1[(s0 >> 16) & 0xFF] ^ t2[(s1 >> 8) & 0xFF] ^ t3[s2 & 0xFF] ^ ek[k + 3]
+                s0, s1, s2, s3 = r0, r1, r2, r3
+                k += 4
+            r0 = ((sbox[s0 >> 24] << 24) | (sbox[(s1 >> 16) & 0xFF] << 16)
+                  | (sbox[(s2 >> 8) & 0xFF] << 8) | sbox[s3 & 0xFF]) ^ ek40
+            r1 = ((sbox[s1 >> 24] << 24) | (sbox[(s2 >> 16) & 0xFF] << 16)
+                  | (sbox[(s3 >> 8) & 0xFF] << 8) | sbox[s0 & 0xFF]) ^ ek41
+            r2 = ((sbox[s2 >> 24] << 24) | (sbox[(s3 >> 16) & 0xFF] << 16)
+                  | (sbox[(s0 >> 8) & 0xFF] << 8) | sbox[s1 & 0xFF]) ^ ek42
+            r3 = ((sbox[s3 >> 24] << 24) | (sbox[(s0 >> 16) & 0xFF] << 16)
+                  | (sbox[(s1 >> 8) & 0xFF] << 8) | sbox[s2 & 0xFF]) ^ ek43
+            out = (out << 128) | (r0 << 96) | (r1 << 64) | (r2 << 32) | r3
+        return out.to_bytes(n, "big")
+
+    def cbc_mac(self, data: bytes) -> bytes:
+        """Last ciphertext block of zero-IV CBC over ``data``.
+
+        This is the CBC-MAC / CMAC chaining value: byte-identical to
+        folding ``x = encrypt_block(x ^ block)`` over the blocks from
+        ``x = 0``.  The chain is inherently sequential, but the hardware
+        backend still collapses it to one CBC ``update`` call, and the
+        pure path keeps the running value as a 128-bit integer with the
+        T-tables bound to locals once.
+        """
+        n = len(data)
+        if n % 16 or n == 0:
+            raise ValueError(
+                f"CBC-MAC input must be a non-empty multiple of 16 bytes, got {n}"
+            )
+        hw_algo = self._hw_algo
+        if hw_algo is not None:
+            return (
+                _HwCipher(hw_algo, _hw_modes.CBC(bytes(16)))
+                .encryptor()
+                .update(data)[-16:]
+            )
+        ek = self._ek
+        t0, t1, t2, t3 = _T0, _T1, _T2, _T3
+        sbox = _SBOX
+        ek0, ek1, ek2, ek3 = ek[0], ek[1], ek[2], ek[3]
+        ek40, ek41, ek42, ek43 = ek[40], ek[41], ek[42], ek[43]
+        nblocks = n // 16
+        src = int.from_bytes(data, "big")
+        mask = _MASK128
+        x = 0
+        shift = (nblocks - 1) * 128
+        for _ in range(nblocks):
+            block = x ^ ((src >> shift) & mask)
+            shift -= 128
+            s0 = ((block >> 96) & 0xFFFFFFFF) ^ ek0
+            s1 = ((block >> 64) & 0xFFFFFFFF) ^ ek1
+            s2 = ((block >> 32) & 0xFFFFFFFF) ^ ek2
+            s3 = (block & 0xFFFFFFFF) ^ ek3
+            k = 4
+            for _ in range(9):
+                r0 = t0[s0 >> 24] ^ t1[(s1 >> 16) & 0xFF] ^ t2[(s2 >> 8) & 0xFF] ^ t3[s3 & 0xFF] ^ ek[k]
+                r1 = t0[s1 >> 24] ^ t1[(s2 >> 16) & 0xFF] ^ t2[(s3 >> 8) & 0xFF] ^ t3[s0 & 0xFF] ^ ek[k + 1]
+                r2 = t0[s2 >> 24] ^ t1[(s3 >> 16) & 0xFF] ^ t2[(s0 >> 8) & 0xFF] ^ t3[s1 & 0xFF] ^ ek[k + 2]
+                r3 = t0[s3 >> 24] ^ t1[(s0 >> 16) & 0xFF] ^ t2[(s1 >> 8) & 0xFF] ^ t3[s2 & 0xFF] ^ ek[k + 3]
+                s0, s1, s2, s3 = r0, r1, r2, r3
+                k += 4
+            r0 = ((sbox[s0 >> 24] << 24) | (sbox[(s1 >> 16) & 0xFF] << 16)
+                  | (sbox[(s2 >> 8) & 0xFF] << 8) | sbox[s3 & 0xFF]) ^ ek40
+            r1 = ((sbox[s1 >> 24] << 24) | (sbox[(s2 >> 16) & 0xFF] << 16)
+                  | (sbox[(s3 >> 8) & 0xFF] << 8) | sbox[s0 & 0xFF]) ^ ek41
+            r2 = ((sbox[s2 >> 24] << 24) | (sbox[(s3 >> 16) & 0xFF] << 16)
+                  | (sbox[(s0 >> 8) & 0xFF] << 8) | sbox[s1 & 0xFF]) ^ ek42
+            r3 = ((sbox[s3 >> 24] << 24) | (sbox[(s0 >> 16) & 0xFF] << 16)
+                  | (sbox[(s1 >> 8) & 0xFF] << 8) | sbox[s2 & 0xFF]) ^ ek43
+            x = (r0 << 96) | (r1 << 64) | (r2 << 32) | r3
+        return x.to_bytes(16, "big")
+
     def decrypt_block(self, block: bytes) -> bytes:
         """Decrypt one 16-byte block."""
         if len(block) != 16:
             raise ValueError(f"AES block must be 16 bytes, got {len(block)}")
         hw = self._hw_ecb_dec
+        if hw is None and self._hw_algo is not None:
+            hw = self._hw_ecb_dec = _HwCipher(
+                self._hw_algo, _hw_modes.ECB()
+            ).decryptor()
         if hw is not None:
             return hw.update(block)
         return self._pure_decrypt_block(block)
@@ -273,6 +394,17 @@ class AES128:
         r3 = ((isbox[s3 >> 24] << 24) | (isbox[(s2 >> 16) & 0xFF] << 16)
               | (isbox[(s1 >> 8) & 0xFF] << 8) | isbox[s0 & 0xFF]) ^ dk[43]
         return ((r0 << 96) | (r1 << 64) | (r2 << 32) | r3).to_bytes(16, "big")
+
+    @staticmethod
+    def _counter_blocks(nonce: bytes, nblocks: int) -> bytes:
+        """The ``nblocks`` consecutive CTR counter blocks starting at
+        ``nonce`` (big-endian increment, wrapping mod 2^128)."""
+        counter = int.from_bytes(nonce, "big")
+        out = 0
+        for _ in range(nblocks):
+            out = (out << 128) | counter
+            counter = (counter + 1) & _MASK128
+        return out.to_bytes(nblocks * 16, "big")
 
     def _keystream_int(self, counter: int, nblocks: int) -> int:
         """``nblocks`` consecutive CTR keystream blocks as one big integer.
@@ -326,14 +458,17 @@ class AES128:
             raise ValueError(f"CTR nonce must be 16 bytes, got {len(nonce)}")
         if length <= 0:
             return b""
-        hw_algo = self._hw_algo
-        if hw_algo is not None:
-            return (
-                _HwCipher(hw_algo, _hw_modes.CTR(nonce))
-                .encryptor()
-                .update(bytes(length))
-            )
         nblocks = (length + 15) // 16
+        hw = self._hw_ecb_enc
+        if hw is not None:
+            # CTR keystream == ECB over the counter blocks; the persistent
+            # ECB context avoids a Cipher+encryptor construction per call.
+            stream = int.from_bytes(
+                hw.update(self._counter_blocks(nonce, nblocks)), "big"
+            )
+            return (stream >> ((nblocks * 16 - length) * 8)).to_bytes(
+                length, "big"
+            )
         stream = self._keystream_int(int.from_bytes(nonce, "big"), nblocks)
         # The keystream is truncated to its *first* ``length`` bytes, so a
         # non-block-aligned tail drops the low-order bytes of the last block.
@@ -350,14 +485,17 @@ class AES128:
             raise ValueError(f"CTR nonce must be 16 bytes, got {len(nonce)}")
         if not data:
             return b""
-        hw_algo = self._hw_algo
-        if hw_algo is not None:
-            return _HwCipher(hw_algo, _hw_modes.CTR(nonce)).encryptor().update(data)
         n = len(data)
         nblocks = (n + 15) // 16
-        # Generate the whole keystream as one big integer and XOR once:
-        # cheaper in CPython than per-block byte juggling.
-        stream = self._keystream_int(int.from_bytes(nonce, "big"), nblocks)
+        hw = self._hw_ecb_enc
+        if hw is not None:
+            stream = int.from_bytes(
+                hw.update(self._counter_blocks(nonce, nblocks)), "big"
+            )
+        else:
+            # Generate the whole keystream as one big integer and XOR once:
+            # cheaper in CPython than per-block byte juggling.
+            stream = self._keystream_int(int.from_bytes(nonce, "big"), nblocks)
         stream >>= (nblocks * 16 - n) * 8
         return (int.from_bytes(data, "big") ^ stream).to_bytes(n, "big")
 

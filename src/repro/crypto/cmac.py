@@ -40,22 +40,23 @@ def aes_cmac(key: bytes, message: bytes) -> bytes:
     if len(key) != 16:
         raise ValueError(f"CMAC key must be 16 bytes, got {len(key)}")
     k1, k2 = _generate_subkeys(bytes(key))
-    encrypt = aes128_cipher(bytes(key)).encrypt_block
     n_blocks = max(1, (len(message) + _BLOCK - 1) // _BLOCK)
     complete_last = len(message) > 0 and len(message) % _BLOCK == 0
 
+    # Whole-block XORs as 128-bit integer ops (no per-byte generator).
     if complete_last:
-        last = bytes(a ^ b for a, b in zip(message[-_BLOCK:], k1))
+        last = int.from_bytes(message[-_BLOCK:], "big") ^ int.from_bytes(k1, "big")
     else:
         tail = message[(n_blocks - 1) * _BLOCK :]
         padded = tail + b"\x80" + bytes(_BLOCK - len(tail) - 1)
-        last = bytes(a ^ b for a, b in zip(padded, k2))
+        last = int.from_bytes(padded, "big") ^ int.from_bytes(k2, "big")
 
-    x = bytes(16)
-    for i in range(n_blocks - 1):
-        block = message[i * _BLOCK : (i + 1) * _BLOCK]
-        x = encrypt(bytes(a ^ b for a, b in zip(x, block)))
-    return encrypt(bytes(a ^ b for a, b in zip(x, last)))
+    # The CMAC chain x_i = E(x_{i-1} ^ m_i) from x_0 = 0 is zero-IV
+    # CBC over the (subkey-masked) padded message: one bulk pass instead
+    # of a per-block encrypt loop.
+    return aes128_cipher(bytes(key)).cbc_mac(
+        message[: (n_blocks - 1) * _BLOCK] + last.to_bytes(16, "big")
+    )
 
 
 def nia2_mac(

@@ -33,12 +33,15 @@ def ts33220_kdf(key: bytes, fc: int, params: Sequence[bytes]) -> bytes:
     """
     if not 0 <= fc <= 0xFF:
         raise ValueError(f"FC must fit one byte, got {fc:#x}")
-    s = bytes([fc])
+    parts = [bytes([fc])]
     for p in params:
         if len(p) > 0xFFFF:
             raise ValueError(f"parameter too long for 16-bit length: {len(p)}")
-        s += p + len(p).to_bytes(2, "big")
-    return hmac.new(key, s, hashlib.sha256).digest()
+        parts.append(p)
+        parts.append(len(p).to_bytes(2, "big"))
+    # hmac.digest is the one-shot C fast path: no HMAC object, no copied
+    # hash contexts — the KDF chain runs seven times per registration.
+    return hmac.digest(key, b"".join(parts), "sha256")
 
 
 def serving_network_name(mcc: str, mnc: str) -> bytes:

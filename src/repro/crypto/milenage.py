@@ -32,10 +32,15 @@ _C4 = bytes(15) + b"\x04"
 _C5 = bytes(15) + b"\x08"
 
 
+_MASK128 = (1 << 128) - 1
+
+
 def _xor(a: bytes, b: bytes) -> bytes:
     if len(a) != len(b):
         raise ValueError(f"xor length mismatch: {len(a)} vs {len(b)}")
-    return bytes(x ^ y for x, y in zip(a, b))
+    return (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).to_bytes(
+        len(a), "big"
+    )
 
 
 def _rotate_left(block: bytes, bits: int) -> bytes:
@@ -83,6 +88,8 @@ class Milenage:
     (8, 16, 6)
     """
 
+    __slots__ = ("k", "opc", "_cipher", "_opc_int", "_last_rand", "_last_temp")
+
     def __init__(self, k: bytes, opc: bytes) -> None:
         if len(k) != 16:
             raise ValueError(f"K must be 16 bytes, got {len(k)}")
@@ -93,16 +100,57 @@ class Milenage:
         # One key schedule per subscriber key, shared process-wide: every
         # f-function evaluation is 2-6 block encryptions under the same K.
         self._cipher = aes128_cipher(k)
+        self._opc_int = int.from_bytes(opc, "big")
+        # TEMP = E_K(RAND ⊕ OPc) memo: f1 and f2345 are almost always
+        # evaluated back to back for the same RAND (USIM challenge check,
+        # AUTS verification), so the shared intermediate is kept per RAND.
+        self._last_rand: "bytes | None" = None
+        self._last_temp = 0
 
     @classmethod
     def from_op(cls, k: bytes, op: bytes) -> "Milenage":
         """Build from the operator variant OP (computes OPc on the fly)."""
         return cls(k, compute_opc(k, op))
 
-    def _temp(self, rand: bytes) -> bytes:
+    def _temp_int(self, rand: bytes) -> int:
+        """TEMP = E_K(RAND ⊕ OPc) as a 128-bit integer, memoised per RAND."""
+        if rand == self._last_rand:
+            return self._last_temp
         if len(rand) != 16:
             raise ValueError(f"RAND must be 16 bytes, got {len(rand)}")
-        return self._cipher.encrypt_block(_xor(rand, self.opc))
+        temp = int.from_bytes(
+            self._cipher.encrypt_block(
+                (int.from_bytes(rand, "big") ^ self._opc_int).to_bytes(16, "big")
+            ),
+            "big",
+        )
+        self._last_rand = rand
+        self._last_temp = temp
+        return temp
+
+    def _temp(self, rand: bytes) -> bytes:
+        return self._temp_int(rand).to_bytes(16, "big")
+
+    def _f1_block(self, temp: int, sqn: bytes, amf: bytes) -> int:
+        """The cipher input block of f1/f1* (TEMP ⊕ rot(IN1 ⊕ OPc, r1) ⊕ c1)."""
+        if len(sqn) != 6:
+            raise ValueError(f"SQN must be 6 bytes, got {len(sqn)}")
+        if len(amf) != 2:
+            raise ValueError(f"AMF field must be 2 bytes, got {len(amf)}")
+        in1 = int.from_bytes(sqn + amf + sqn + amf, "big") ^ self._opc_int
+        # r1 = 64 bits, c1 = 0.
+        return temp ^ (((in1 << 64) | (in1 >> 64)) & _MASK128)
+
+    def _f2345_blocks(self, temp: int) -> "tuple[int, int, int, int]":
+        """The four independent cipher inputs of f2–f5* given TEMP."""
+        base = temp ^ self._opc_int
+        mask = _MASK128
+        # (rotate by r2..r5 = 0, 32, 64, 96 bits) ⊕ c2..c5 = 1, 2, 4, 8.
+        b2 = base ^ 1
+        b3 = (((base << 32) | (base >> 96)) & mask) ^ 2
+        b4 = (((base << 64) | (base >> 64)) & mask) ^ 4
+        b5 = (((base << 96) | (base >> 32)) & mask) ^ 8
+        return b2, b3, b4, b5
 
     def f1(self, rand: bytes, sqn: bytes, amf: bytes) -> "tuple[bytes, bytes]":
         """f1 / f1*: returns (MAC-A, MAC-S) for the given SQN and AMF field.
@@ -110,48 +158,77 @@ class Milenage:
         ``amf`` here is the 2-byte Authentication Management Field of
         TS 33.102, not the Access and Mobility Management Function.
         """
-        if len(sqn) != 6:
-            raise ValueError(f"SQN must be 6 bytes, got {len(sqn)}")
-        if len(amf) != 2:
-            raise ValueError(f"AMF field must be 2 bytes, got {len(amf)}")
-        temp = self._temp(rand)
-        in1 = sqn + amf + sqn + amf
-        inner = _xor(temp, _rotate_left(_xor(in1, self.opc), _R1))
-        out1 = _xor(self._cipher.encrypt_block(_xor(inner, _C1)), self.opc)
+        block = self._f1_block(self._temp_int(rand), sqn, amf)
+        out1 = (
+            int.from_bytes(
+                self._cipher.encrypt_block(block.to_bytes(16, "big")), "big"
+            )
+            ^ self._opc_int
+        ).to_bytes(16, "big")
         return out1[:8], out1[8:]
 
-    def f2345(self, rand: bytes) -> MilenageVector:
-        """Evaluate f2–f5* (everything except the MACs) for ``rand``."""
-        temp = self._temp(rand)
-        base = _xor(temp, self.opc)
-
-        encrypt = self._cipher.encrypt_block
-        out2 = _xor(encrypt(_xor(_rotate_left(base, _R2), _C2)), self.opc)
-        out3 = _xor(encrypt(_xor(_rotate_left(base, _R3), _C3)), self.opc)
-        out4 = _xor(encrypt(_xor(_rotate_left(base, _R4), _C4)), self.opc)
-        out5 = _xor(encrypt(_xor(_rotate_left(base, _R5), _C5)), self.opc)
-        return MilenageVector(
-            rand=rand,
-            mac_a=b"",
-            mac_s=b"",
-            res=out2[8:16],
-            ck=out3,
-            ik=out4,
-            ak=out2[:6],
-            ak_star=out5[:6],
-        )
-
-    def generate(self, rand: bytes, sqn: bytes, amf: bytes) -> MilenageVector:
-        """Full evaluation: f1 and f2–f5* together."""
-        mac_a, mac_s = self.f1(rand, sqn, amf)
-        partial = self.f2345(rand)
+    def _vector_from_outs(
+        self, rand: bytes, out2: int, out3: int, out4: int, out5: int,
+        mac_a: bytes = b"", mac_s: bytes = b"",
+    ) -> MilenageVector:
+        opc = self._opc_int
+        out2_b = (out2 ^ opc).to_bytes(16, "big")
         return MilenageVector(
             rand=rand,
             mac_a=mac_a,
             mac_s=mac_s,
-            res=partial.res,
-            ck=partial.ck,
-            ik=partial.ik,
-            ak=partial.ak,
-            ak_star=partial.ak_star,
+            res=out2_b[8:16],
+            ck=(out3 ^ opc).to_bytes(16, "big"),
+            ik=(out4 ^ opc).to_bytes(16, "big"),
+            ak=out2_b[:6],
+            ak_star=(out5 ^ opc).to_bytes(16, "big")[:6],
         )
+
+    def f2345(self, rand: bytes) -> MilenageVector:
+        """Evaluate f2–f5* (everything except the MACs) for ``rand``.
+
+        The four independent block encryptions run as one ECB batch, so
+        the whole evaluation is a single multi-block cipher pass.
+        """
+        b2, b3, b4, b5 = self._f2345_blocks(self._temp_int(rand))
+        data = ((b2 << 384) | (b3 << 256) | (b4 << 128) | b5).to_bytes(64, "big")
+        out = int.from_bytes(self._cipher.encrypt_blocks(data), "big")
+        mask = _MASK128
+        return self._vector_from_outs(
+            rand, (out >> 384) & mask, (out >> 256) & mask,
+            (out >> 128) & mask, out & mask,
+        )
+
+    def generate(self, rand: bytes, sqn: bytes, amf: bytes) -> MilenageVector:
+        """Full evaluation: f1 and f2–f5* together.
+
+        TEMP is computed once and all five post-TEMP encryptions (the f1
+        MAC block plus the four f2–f5* blocks) run as one ECB batch.
+        """
+        temp = self._temp_int(rand)
+        b1 = self._f1_block(temp, sqn, amf)
+        b2, b3, b4, b5 = self._f2345_blocks(temp)
+        data = (
+            (b1 << 512) | (b2 << 384) | (b3 << 256) | (b4 << 128) | b5
+        ).to_bytes(80, "big")
+        out = int.from_bytes(self._cipher.encrypt_blocks(data), "big")
+        mask = _MASK128
+        out1 = (((out >> 512) & mask) ^ self._opc_int).to_bytes(16, "big")
+        return self._vector_from_outs(
+            rand, (out >> 384) & mask, (out >> 256) & mask,
+            (out >> 128) & mask, out & mask,
+            mac_a=out1[:8], mac_s=out1[8:],
+        )
+
+
+@lru_cache(maxsize=4096)
+def milenage_for(k: bytes, opc: bytes) -> Milenage:
+    """The shared :class:`Milenage` instance for ``(K, OPc)``.
+
+    Mirrors :func:`repro.crypto.aes.aes128_cipher`: AV generation and AUTS
+    verification re-instantiate MILENAGE for the same subscriber on every
+    request, and the per-instance TEMP memo only pays off if the instance
+    survives across calls.  (Caching on secret bytes is fine here — the
+    simulator is the only user of this module.)
+    """
+    return Milenage(k, opc)

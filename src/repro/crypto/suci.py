@@ -16,6 +16,7 @@ import hashlib
 import hmac
 import os
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Tuple
 
 from repro.crypto.aes import AES128
@@ -45,6 +46,20 @@ _P = 2**255 - 19
 _A24 = 121665
 
 
+@lru_cache(maxsize=1024)
+def _hw_private_key(scalar: bytes):
+    """libcrypto key object for ``scalar`` (the home-network private key
+    recurs every deconcealment; an ephemeral key is used twice back-to-back
+    — public derivation then exchange).  Caching on secret bytes is fine
+    here for the same reason as ``aes128_cipher``."""
+    return _HwX25519PrivateKey.from_private_bytes(scalar)
+
+
+@lru_cache(maxsize=1024)
+def _hw_public_key(u_coordinate: bytes):
+    return _HwX25519PublicKey.from_public_bytes(u_coordinate)
+
+
 def _decode_u_coordinate(u: bytes) -> int:
     if len(u) != 32:
         raise ValueError(f"X25519 coordinate must be 32 bytes, got {len(u)}")
@@ -67,8 +82,8 @@ def x25519(scalar: bytes, u_coordinate: bytes) -> bytes:
     """RFC 7748 §5 X25519 scalar multiplication."""
     if HAVE_HW_X25519 and len(scalar) == 32 and len(u_coordinate) == 32:
         try:
-            return _HwX25519PrivateKey.from_private_bytes(scalar).exchange(
-                _HwX25519PublicKey.from_public_bytes(u_coordinate)
+            return _hw_private_key(scalar).exchange(
+                _hw_public_key(u_coordinate)
             )
         except ValueError:
             # libcrypto rejects low-order points (all-zero shared secret)

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 from repro.faults.plan import FaultKind, FaultPlan, FaultWindow
 from repro.net.http import HttpServer, UnresponsiveError
 from repro.sgx.epc import EpcRegion
+from repro.sim.sched import EventScheduler
 
 
 class FaultInjector:
@@ -39,6 +40,19 @@ class FaultInjector:
             w for w in plan.windows
             if w.kind in (FaultKind.LINK_LOSS, FaultKind.LATENCY_SPIKE)
         ]
+        self._epc_windows = [
+            w for w in plan.windows if w.kind is FaultKind.EPC_PRESSURE
+        ]
+        self._storm_windows = [
+            w for w in plan.windows if w.kind is FaultKind.AEX_STORM
+        ]
+        # Window-edge scheduler: tick() only runs the EPC / AEX-storm sync
+        # scans while a matching window is (or was just) active; idle
+        # ticks cost one heap-root comparison instead of a plan scan.
+        self._sched: Optional[EventScheduler] = None
+        self._epc_active = 0
+        self._storm_active = 0
+        self._storm_flush = False
         # Accounting surfaced by the availability experiment.
         self.frames_dropped = 0
         self.requests_refused = 0
@@ -70,6 +84,24 @@ class FaultInjector:
         self._last_tick_ns = 0
         if self._link_windows:
             self.testbed.sbi.link_filter = self._link_filter
+        sched = self._sched = EventScheduler()
+        self._epc_active = 0
+        self._storm_active = 0
+        self._storm_flush = False
+        for window in self._epc_windows:
+            # Windows are active on [start, end): the start edge fires on
+            # the first tick at/after start_ns; after the end edge the
+            # lingering noise region keeps _sync_epc running once more to
+            # release it.
+            sched.schedule_at(window.start_ns, self._epc_edge_start)
+            sched.schedule_at(window.end_ns, self._epc_edge_end)
+        for window in self._storm_windows:
+            # The storm books overlap with the *open* interval (from, to],
+            # so the tick that crosses end_ns must still run one final
+            # _book_aex_storms for the tail slice — the end edge sets
+            # _storm_flush to request exactly that.
+            sched.schedule_at(window.start_ns, self._storm_edge_start)
+            sched.schedule_at(window.end_ns, self._storm_edge_end)
         for name, server in self._servers().items():
             gate = self._gate_for(name)
             if gate is not None:
@@ -83,6 +115,10 @@ class FaultInjector:
             server.fault_gate = None
         self._gated.clear()
         self._clear_noise()
+        self._sched = None
+        self._epc_active = 0
+        self._storm_active = 0
+        self._storm_flush = False
         self.base_ns = None
 
     def _servers(self) -> Dict[str, HttpServer]:
@@ -141,11 +177,40 @@ class FaultInjector:
 
     def tick(self) -> None:
         """Sync window-driven state; call between arrivals in the driving
-        loop.  Idempotent at a given simulated time."""
+        loop.  Idempotent at a given simulated time.
+
+        With the edge scheduler armed, the per-tick scans only run while a
+        matching window is active (or needs a final flush); skipped calls
+        are exact no-ops — ``_sync_epc`` with no active window and no
+        noise region does nothing, and ``_book_aex_storms`` outside every
+        storm window books zero overlap.
+        """
         rel = self._rel_ns()
-        self._sync_epc(rel)
-        self._book_aex_storms(self._last_tick_ns, rel)
+        sched = self._sched
+        if sched is None:
+            self._sync_epc(rel)
+            self._book_aex_storms(self._last_tick_ns, rel)
+        else:
+            sched.run_due(rel)
+            if self._epc_active or self._noise_region is not None:
+                self._sync_epc(rel)
+            if self._storm_active or self._storm_flush:
+                self._storm_flush = False
+                self._book_aex_storms(self._last_tick_ns, rel)
         self._last_tick_ns = rel
+
+    def _epc_edge_start(self) -> None:
+        self._epc_active += 1
+
+    def _epc_edge_end(self) -> None:
+        self._epc_active -= 1
+
+    def _storm_edge_start(self) -> None:
+        self._storm_active += 1
+
+    def _storm_edge_end(self) -> None:
+        self._storm_active -= 1
+        self._storm_flush = True
 
     def _sync_epc(self, rel_ns: int) -> None:
         epc = getattr(self.testbed.deployment, "epc_manager", None)

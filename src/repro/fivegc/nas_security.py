@@ -14,6 +14,7 @@ import json
 from dataclasses import dataclass
 from typing import Dict, Type
 
+from repro.net.codec import dumps_flat
 from repro.crypto.cmac import nia2_mac
 from repro.crypto.nea import nea2_encrypt
 from repro.fivegc.messages import (
@@ -55,7 +56,7 @@ def encode_inner(message: NasMessage) -> bytes:
         raise NasSecurityError(f"no NAS codec for {message.kind}")
     payload = {"kind": message.kind}
     payload.update(message.__dict__)
-    return json.dumps(payload, sort_keys=True).encode()
+    return dumps_flat(payload)
 
 
 def decode_inner(raw: bytes) -> NasMessage:

@@ -23,6 +23,7 @@ from repro.net.http import (
     HttpServer,
     RetryPolicy,
 )
+from repro.net.codec import dumps_flat
 from repro.net.rest import JsonApiError, error_response, json_response
 from repro.net.sbi import NF_HEALTH, NFProfile, NFType
 from repro.runtime.base import Runtime
@@ -135,7 +136,7 @@ class NetworkFunction:
             raise JsonApiError(
                 503, f"{self.name}: circuit to {server.name} open"
             )
-        body = json.dumps(payload or {}, sort_keys=True).encode()
+        body = dumps_flat(payload or {})
         try:
             connection = self._connections.get(server.name)
             if connection is None or not connection.open:

@@ -1,0 +1,82 @@
+"""Fast SBI message serialization.
+
+Every SBI body in the simulator is a flat JSON object of strings
+(hex-encoded octet strings, SUPIs), integers and booleans — Table I's
+byte accounting depends on the exact wire form, so the encoder here is
+**byte-identical** to ``json.dumps(payload, sort_keys=True)`` for those
+payloads and falls back to :mod:`json` for anything richer (nested
+containers, floats needing full repr rules, non-ASCII text).
+
+Why not just call ``json.dumps``?  The registration hot path serializes
+and parses ~14 bodies per registration; ``dumps`` pays encoder-object
+construction and dispatch per call, and ``sorted`` re-sorts the same
+small key sets millions of times per campaign.  The encoder below is a
+precompiled-per-message-type scheme in spirit: the sort order of each
+distinct key tuple (the "message type" — call sites build dict literals,
+so insertion order identifies the shape) is computed once and memoised.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Tuple
+
+# Characters json.dumps escapes inside strings (ensure_ascii=True also
+# escapes non-ASCII; such strings take the fallback path).
+_NEEDS_ESCAPE = re.compile(r'[\\"\x00-\x1f]')
+
+# Key-tuple (insertion order) -> (sorted keys, keys are plain strings).
+# SBI message shapes are a small fixed set, so this is effectively
+# per-message-type: sort order and key validation compile once per shape.
+_KEY_ORDER: Dict[Tuple[str, ...], Tuple[Tuple[str, ...], bool]] = {}
+
+
+def _simple_str(value: str) -> bool:
+    return value.isascii() and _NEEDS_ESCAPE.search(value) is None
+
+
+def dumps_flat(payload: Dict[str, Any]) -> bytes:
+    """Serialize a flat JSON object, byte-identical to
+    ``json.dumps(payload, sort_keys=True).encode()``."""
+    keys = tuple(payload)
+    cached = _KEY_ORDER.get(keys)
+    if cached is None:
+        keys_ok = all(k.__class__ is str and _simple_str(k) for k in keys)
+        cached = _KEY_ORDER[keys] = (tuple(sorted(keys)), keys_ok)
+    order, keys_ok = cached
+    if keys_ok:
+        parts = []
+        append = parts.append
+        for key in order:
+            value = payload[key]
+            cls = value.__class__
+            if cls is str:
+                if not _simple_str(value):
+                    break
+                append(f'"{key}": "{value}"')
+            elif cls is bool:
+                append(f'"{key}": true' if value else f'"{key}": false')
+            elif cls is int:
+                append(f'"{key}": {value}')
+            elif value is None:
+                append(f'"{key}": null')
+            else:
+                break
+        else:
+            return ("{" + ", ".join(parts) + "}").encode()
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+def loads_object(body: bytes) -> Dict[str, Any]:
+    """Parse a JSON object body (the inverse of :func:`dumps_flat`).
+
+    Thin wrapper over :func:`json.loads` (already a C scanner) that
+    exists so the codec owns both directions; raises ``ValueError`` (or
+    ``json.JSONDecodeError``, its subclass) on malformed input and
+    ``TypeError``-free non-dict payloads are reported as ``ValueError``.
+    """
+    data = json.loads(body.decode())
+    if not isinstance(data, dict):
+        raise ValueError("JSON body must be an object")
+    return data

@@ -86,6 +86,36 @@ class RetryPolicy:
 DEFAULT_SBI_RETRY = RetryPolicy()
 
 
+# Serialized head-section cache: SBI traffic reuses a handful of
+# (method, path, headers) / (status, headers) shapes for the whole
+# campaign, so the f-string/sort/encode work happens once per shape.
+_HEAD_CACHE: Dict[tuple, bytes] = {}
+
+
+def _request_head(method: str, path: str, header_items: tuple) -> bytes:
+    key = (method, path, header_items)
+    head = _HEAD_CACHE.get(key)
+    if head is None:
+        if len(_HEAD_CACHE) > 8192:  # unique-header traffic cannot leak memory
+            _HEAD_CACHE.clear()
+        header_lines = "".join(f"{k}: {v}\r\n" for k, v in sorted(header_items))
+        head = _HEAD_CACHE[key] = (
+            f"{method} {path} HTTP/1.1\r\n{header_lines}\r\n".encode()
+        )
+    return head
+
+
+def _response_head(status: int, header_items: tuple) -> bytes:
+    key = (status, header_items)
+    head = _HEAD_CACHE.get(key)
+    if head is None:
+        header_lines = "".join(f"{k}: {v}\r\n" for k, v in sorted(header_items))
+        head = _HEAD_CACHE[key] = (
+            f"HTTP/1.1 {status} X\r\n{header_lines}\r\n".encode()
+        )
+    return head
+
+
 @dataclass
 class HttpRequest:
     method: str
@@ -94,9 +124,8 @@ class HttpRequest:
     headers: Dict[str, str] = field(default_factory=dict)
 
     def wire_bytes(self) -> bytes:
-        header_lines = "".join(f"{k}: {v}\r\n" for k, v in sorted(self.headers.items()))
-        head = f"{self.method} {self.path} HTTP/1.1\r\n{header_lines}\r\n"
-        return head.encode() + self.body
+        head = _request_head(self.method, self.path, tuple(self.headers.items()))
+        return head + self.body
 
     @classmethod
     def from_wire(cls, raw: bytes) -> "HttpRequest":
@@ -125,9 +154,8 @@ class HttpResponse:
         return json.loads(self.body.decode())
 
     def wire_bytes(self) -> bytes:
-        header_lines = "".join(f"{k}: {v}\r\n" for k, v in sorted(self.headers.items()))
-        head = f"HTTP/1.1 {self.status} X\r\n{header_lines}\r\n"
-        return head.encode() + self.body
+        head = _response_head(self.status, tuple(self.headers.items()))
+        return head + self.body
 
     @classmethod
     def from_wire(cls, raw: bytes) -> "HttpResponse":
@@ -306,6 +334,15 @@ class HttpServer:
         # the serial-capacity denominator for horizontal-scaling estimates.
         self.busy_us: BoundedSeries = BoundedSeries(metrics_cap)
         self.requests_served = 0
+        # HandlerContext carries only (server, runtime), both fixed for the
+        # server's lifetime: one instance serves every request.
+        self._handler_context = HandlerContext(self)
+        # The per-request syscall profiles replay for every serve();
+        # compiling them hoists all per-spec cost/stat lookups into setup.
+        self._in_window_pre = runtime.compile_syscalls(self.profile.in_window_pre)
+        self._in_window_post = runtime.compile_syscalls(self.profile.in_window_post)
+        self._out_of_window = runtime.compile_syscalls(self.profile.out_of_window)
+        self._connection_setup = runtime.compile_syscalls(self.profile.connection_setup)
 
     # ------------------------------------------------------------- routing
 
@@ -339,7 +376,7 @@ class HttpServer:
     def accept_connection(self, connection: "HttpConnection") -> None:
         if not self.started:
             raise HttpError(f"server {self.name!r} not started")
-        self._run_profile(self.profile.connection_setup)
+        self.runtime.syscall_profile(self._connection_setup)
         # TLS handshake crypto on the server side.
         self.runtime.compute(self.tls_cost.handshake_cycles)
 
@@ -385,7 +422,7 @@ class HttpServer:
                 )
                 try:
                     with clock.measure() as lt_span:
-                        self._run_profile(self.profile.in_window_pre)
+                        runtime.syscall_profile(self._in_window_pre)
                         runtime.compute(
                             self.tls_cost.record_cycles(len(protected_request))
                         )
@@ -396,7 +433,7 @@ class HttpServer:
                             + self.profile.parse_per_byte_cycles * len(raw)
                         )
                         handler = self._resolve(request.method, request.path)
-                        context = HandlerContext(self)
+                        context = self._handler_context
                         lf_trace = (
                             tracer.begin(request.path, kind="L_F", path=request.path)
                             if tracer is not None else None
@@ -410,14 +447,14 @@ class HttpServer:
                         response_raw = response.wire_bytes()
                         runtime.compute(self.tls_cost.record_cycles(len(response_raw)))
                         protected_response = connection.server_tls.protect(response_raw)
-                        self._run_profile(self.profile.in_window_post)
+                        runtime.syscall_profile(self._in_window_post)
                 finally:
                     if lt_trace is not None:
                         tracer.end(lt_trace)
 
                 # Reactor chatter around the request (outside the L_T window
                 # but inside the client's response-time window).
-                self._run_profile(self.profile.out_of_window)
+                runtime.syscall_profile(self._out_of_window)
         finally:
             if srv_trace is not None:
                 tracer.end(srv_trace)
@@ -521,8 +558,15 @@ class HttpClient:
         # frames on the wire (capturable by an on-path attacker).
         self.endpoint = network.attach(name)
         self.tls_cost = tls_cost or TlsCostModel()
-        self.response_times_us: List[float] = []
-        self.response_times_by_server: Dict[str, List[float]] = {}
+        # Per-request / per-connect syscall profiles, precompiled once.
+        self._request_profile = runtime.compile_syscalls(self._CLIENT_REQUEST_SYSCALLS)
+        self._connect_profile = runtime.compile_syscalls(self._CLIENT_CONNECT_SYSCALLS)
+        # BoundedSeries (uncapped: list-compatible) rather than plain lists
+        # so metric collection adopts them instead of re-observing every
+        # sample into fresh histograms on each scrape — the difference
+        # between O(total samples) and O(1) per armed-scraper pull.
+        self.response_times_us: BoundedSeries = BoundedSeries()
+        self.response_times_by_server: Dict[str, BoundedSeries] = {}
         # Resilience accounting (only moves when faults/retries happen).
         self.retries = 0
         self.timeouts = 0
@@ -531,7 +575,7 @@ class HttpClient:
     def connect(self, server: HttpServer, handshake_secret: bytes = b"") -> HttpConnection:
         """TCP + mutual-TLS connection establishment."""
         secret = handshake_secret or f"{self.name}->{server.name}".encode()
-        self.runtime.syscall_batch(self._CLIENT_CONNECT_SYSCALLS)
+        self.runtime.syscall_profile(self._connect_profile)
         self.runtime.compute(self.tls_cost.handshake_cycles)
         # SYN/ACK + TLS flights across the bridge (alternating directions).
         for index, nbytes in enumerate((64, 64, 2048, 384)):
@@ -651,7 +695,7 @@ class HttpClient:
             try:
                 self.runtime.compute(self.tls_cost.record_cycles(len(raw)))
                 protected = connection.client_tls.protect(raw)
-                self.runtime.syscall_batch(self._CLIENT_REQUEST_SYSCALLS)
+                self.runtime.syscall_profile(self._request_profile)
                 # Request transit, server handling, response transit — real
                 # frames on the bridge (advances the clock per hop).
                 self.network.transmit(self.name, connection.server.name, protected)
@@ -686,9 +730,12 @@ class HttpClient:
                 f"response after {r_span.us:.0f}us deadline {timeout_us:.0f}us"
             )
         self.response_times_us.append(r_span.us)
-        self.response_times_by_server.setdefault(
-            connection.server.name, []
-        ).append(r_span.us)
+        by_server = self.response_times_by_server.get(connection.server.name)
+        if by_server is None:
+            by_server = self.response_times_by_server[
+                connection.server.name
+            ] = BoundedSeries()
+        by_server.append(r_span.us)
         if req_trace is not None:
             req_trace.tags["r_us"] = r_span.us
         return HttpResponse.from_wire(response_raw)
@@ -716,7 +763,7 @@ class HttpClient:
 
     def reset_stats(self) -> None:
         """Forget response times and resilience counters (a restart)."""
-        self.response_times_us = []
+        self.response_times_us = BoundedSeries()
         self.response_times_by_server = {}
         self.retries = 0
         self.timeouts = 0
@@ -725,9 +772,9 @@ class HttpClient:
     def collect_metrics(self, registry) -> None:
         """Snapshot this client into a ``repro.obs`` registry (pull).
 
-        Response times live in plain lists, so histograms are fed
-        incrementally (only samples past the histogram's current count),
-        making repeated collection into the same registry idempotent.
+        Response-time histograms *adopt* the live BoundedSeries — no
+        copying and no re-observation, so a scrape costs O(1) per series
+        no matter how many requests the campaign has issued.
         """
         labels = {"client": self.name}
         registry.counter("http_client_retries_total", **labels).set(self.retries)
@@ -735,12 +782,11 @@ class HttpClient:
         registry.counter("http_client_reconnects_total", **labels).set(
             self.reconnects
         )
-        histogram = registry.histogram("http_client_response_us", **labels)
-        for value in self.response_times_us[histogram.count:]:
-            histogram.observe(value)
-        for server, values in sorted(self.response_times_by_server.items()):
-            per_server = registry.histogram(
-                "http_client_response_us_by_server", server=server, **labels
+        registry.histogram_from_series(
+            "http_client_response_us", self.response_times_us, **labels
+        )
+        for server, series in sorted(self.response_times_by_server.items()):
+            registry.histogram_from_series(
+                "http_client_response_us_by_server", series,
+                server=server, **labels
             )
-            for value in values[per_server.count:]:
-                per_server.observe(value)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict
 
+from repro.net.codec import dumps_flat, loads_object
 from repro.net.http import HttpRequest, HttpResponse
 
 
@@ -24,9 +25,12 @@ class JsonApiError(Exception):
 
 
 def json_response(payload: Dict[str, Any], status: int = 200) -> HttpResponse:
-    body = json.dumps(payload, sort_keys=True).encode()
+    # dumps_flat is byte-identical to json.dumps(payload, sort_keys=True)
+    # for the flat hex/str/int bodies the SBI exchanges (see net/codec.py).
     return HttpResponse(
-        status=status, body=body, headers={"Content-Type": "application/json"}
+        status=status,
+        body=dumps_flat(payload),
+        headers={"Content-Type": "application/json"},
     )
 
 
@@ -36,12 +40,13 @@ def error_response(error: JsonApiError) -> HttpResponse:
 
 def json_body(request: HttpRequest) -> Dict[str, Any]:
     try:
-        data = json.loads(request.body.decode())
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise JsonApiError(400, f"body is not valid JSON: {exc}")
-    if not isinstance(data, dict):
+        return loads_object(request.body)
+    except (UnicodeDecodeError, ValueError) as exc:
+        if isinstance(exc, json.JSONDecodeError):
+            raise JsonApiError(400, f"body is not valid JSON: {exc}")
+        if isinstance(exc, UnicodeDecodeError):
+            raise JsonApiError(400, f"body is not valid JSON: {exc}")
         raise JsonApiError(400, "JSON body must be an object")
-    return data
 
 
 def require_hex(data: Dict[str, Any], field: str, nbytes: int) -> bytes:

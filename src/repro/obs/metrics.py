@@ -23,9 +23,28 @@ from repro.sim.metrics import BoundedSeries
 LabelItems = Tuple[Tuple[str, str], ...]
 MetricKey = Tuple[str, LabelItems]
 
+# Label-kwargs -> canonical sorted key tuple.  Every scrape re-derives
+# the same few hundred keys (fixed call sites, fixed label sets), so the
+# sort + str() normalisation runs once per distinct label set instead of
+# once per metric lookup.  Keyed on the raw insertion-ordered items; the
+# cache is tiny in practice (component/NF/host names) but bounded anyway.
+_LABEL_KEY_CACHE: Dict[tuple, LabelItems] = {}
+_LABEL_KEY_CACHE_CAP = 4096
+
 
 def _label_key(labels: Dict[str, str]) -> LabelItems:
-    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+    try:
+        raw = tuple(labels.items())
+        cached = _LABEL_KEY_CACHE.get(raw)
+    except TypeError:  # unhashable label value: normalise without caching
+        return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+    if cached is None:
+        if len(_LABEL_KEY_CACHE) >= _LABEL_KEY_CACHE_CAP:
+            _LABEL_KEY_CACHE.clear()
+        cached = _LABEL_KEY_CACHE[raw] = tuple(
+            sorted((str(k), str(v)) for k, v in labels.items())
+        )
+    return cached
 
 
 class Counter:
@@ -202,6 +221,19 @@ class MetricsRegistry:
 
     def histograms(self) -> List[Histogram]:
         return [self._histograms[key] for key in sorted(self._histograms)]
+
+    # Insertion-order views for consumers that key on (name, labels)
+    # themselves (the Tsdb ingest path) and don't need the sorted export
+    # order — skipping the three per-snapshot sorts matters at scrape
+    # cadence.
+    def iter_counters(self) -> Iterator[Counter]:
+        return iter(self._counters.values())
+
+    def iter_gauges(self) -> Iterator[Gauge]:
+        return iter(self._gauges.values())
+
+    def iter_histograms(self) -> Iterator[Histogram]:
+        return iter(self._histograms.values())
 
     def __len__(self) -> int:
         return len(self._counters) + len(self._gauges) + len(self._histograms)

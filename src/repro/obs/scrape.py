@@ -9,11 +9,13 @@ from the simulation (end of each registration, each ``Testbed.idle``
 slice); it samples whenever simulated time has crossed the next
 cadence-grid deadline.
 
-Scrapes are pull-only: they never advance the simulated clock, never
-draw randomness, and each snapshot goes into a *fresh* registry, so an
-armed scraper leaves golden clocks byte-identical.  When no scraper is
-installed the hook cost is one attribute read (``host.monitor is
-None``), mirroring the tracer contract.
+Scrapes are pull-only: they never advance the simulated clock and never
+draw randomness, so an armed scraper leaves golden clocks byte-identical.
+The testbed scraper reuses one persistent registry across scrapes
+(metrics allocated once, re-``set`` per snapshot); counter reset banking
+and histogram series re-adoption keep restarted producers monotone.
+When no scraper is installed the hook cost is one attribute read
+(``host.monitor is None``), mirroring the tracer contract.
 """
 
 from __future__ import annotations
@@ -100,12 +102,24 @@ class Scraper:
         fault_injector: Optional[Any] = None,
         series_cap: Optional[int] = None,
     ) -> "Scraper":
-        """Scraper over the whole testbed (plus optional fault injector)."""
+        """Scraper over the whole testbed (plus optional fault injector).
+
+        The scraper owns one *persistent* registry reused across scrapes:
+        metric objects and their label keys are allocated on the first
+        pull and every later snapshot just re-``set``s them — the metric
+        side of the zero-alloc observability work.  Persistence is what
+        :meth:`~repro.obs.metrics.Counter.set`'s reset banking and
+        :meth:`~repro.obs.metrics.MetricsRegistry.histogram_from_series`
+        re-adoption were designed for, so restarted producers (an NF
+        dying under fault injection) stay correctly monotone.
+        """
         from repro.obs.collect import collect_testbed_metrics
+
+        registry = MetricsRegistry()
 
         def collect() -> MetricsRegistry:
             return collect_testbed_metrics(
-                testbed, fault_injector=fault_injector
+                testbed, registry=registry, fault_injector=fault_injector
             )
 
         return cls(

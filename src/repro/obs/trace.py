@@ -101,6 +101,17 @@ class Span:
         )
 
 
+# Freelist of recycled Span objects, shared across tracers.  An armed
+# tracer allocates one Span per instrumentation point (~1.1k per SGX
+# registration, most of them sgx.ocall leaves); recycling a consumed tree
+# lets the next trace reuse the objects instead of exercising the
+# allocator, which is where most of the armed-tracer host overhead goes.
+# ``Tracer.begin`` fully re-initialises every slot (name, kind, both
+# timestamps, tags, children), so a recycled span can never leak state.
+_SPAN_POOL: List[Span] = []
+_SPAN_POOL_CAP = 8192
+
+
 class Tracer:
     """Builds span trees from begin/end calls against one clock.
 
@@ -119,13 +130,41 @@ class Tracer:
 
     def begin(self, name: str, kind: str = "", **tags: Any) -> Span:
         """Open a span at the current simulated instant."""
-        span = Span(name, kind, self.clock.now_ns, **tags)
+        pool = _SPAN_POOL
+        if pool:
+            # Freelist hit: overwrite every slot.  ``tags`` is a fresh
+            # dict built for this call, so taking ownership of it (the
+            # same thing the constructor does) cannot leak prior tags;
+            # the children list was emptied when the span was recycled.
+            span = pool.pop()
+            span.name = name
+            span.kind = kind
+            now = self.clock.now_ns
+            span.start_ns = now
+            span.end_ns = now
+            span.tags = tags
+        else:
+            span = Span(name, kind, self.clock.now_ns, **tags)
         if self._stack:
             self._stack[-1].children.append(span)
         else:
             self.roots.append(span)
         self._stack.append(span)
         return span
+
+    def recycle(self, span: Span) -> None:
+        """Return ``span`` and its whole subtree to the span freelist.
+
+        The caller asserts the tree is fully consumed: after this call the
+        spans, their ``tags`` dicts and ``children`` lists must not be
+        touched again (children lists are emptied in place).  If ``span``
+        is one of this tracer's roots it is detached first.
+        """
+        try:
+            self.roots.remove(span)
+        except ValueError:
+            pass
+        _recycle_tree(span)
 
     def end(self, span: Span, **tags: Any) -> Span:
         """Close ``span`` at the current instant; spans close LIFO."""
@@ -154,12 +193,31 @@ class Tracer:
     def depth(self) -> int:
         return len(self._stack)
 
-    def clear(self) -> None:
+    def clear(self, recycle: bool = False) -> None:
+        """Drop all finished roots; ``recycle=True`` also returns every
+        span tree to the freelist (same caller contract as
+        :meth:`recycle`)."""
         if self._stack:
             raise SpanNestingError(
                 f"clear() with {len(self._stack)} span(s) still open"
             )
+        if recycle:
+            for root in self.roots:
+                _recycle_tree(root)
         self.roots.clear()
+
+
+def _recycle_tree(span: Span) -> None:
+    pool = _SPAN_POOL
+    stack = [span]
+    while stack:
+        current = stack.pop()
+        children = current.children
+        if children:
+            stack.extend(children)
+            children.clear()
+        if len(pool) < _SPAN_POOL_CAP:
+            pool.append(current)
 
 
 def registration_breakdown(

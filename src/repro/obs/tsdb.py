@@ -140,18 +140,22 @@ class Tsdb:
         ``_count`` / ``_sum`` counter series (quantiles are windowed
         recording rules at query time, never materialised here).
         """
-        for counter in registry.counters():
+        ts_ns = int(ts_ns)
+        # Insertion-order iteration: series are keyed by (name, labels),
+        # so ingest order never changes a sample, and the exported views
+        # (`all_series`, `to_dict`) sort for themselves.
+        for counter in registry.iter_counters():
             self._ingest_one(counter.name, counter.labels, "counter",
                              ts_ns, float(counter.value))
-        for gauge in registry.gauges():
+        for gauge in registry.iter_gauges():
             self._ingest_one(gauge.name, gauge.labels, "gauge",
                              ts_ns, gauge.value)
-        for histogram in registry.histograms():
+        for histogram in registry.iter_histograms():
             self._ingest_one(histogram.name + "_count", histogram.labels,
                              "counter", ts_ns, float(histogram.count))
             self._ingest_one(histogram.name + "_sum", histogram.labels,
                              "counter", ts_ns, float(histogram.total))
-        self.scrape_times.append(int(ts_ns))
+        self.scrape_times.append(ts_ns)
 
     def _ingest_one(
         self, name: str, labels: LabelItems, kind: str, ts_ns: int, value: float
@@ -162,7 +166,22 @@ class Tsdb:
             series = self._series[key] = TsdbSeries(
                 name, labels, kind=kind, cap=self.cap
             )
-        series.append(ts_ns, value)
+        # Inlined :meth:`TsdbSeries.append` (same checks, one call fewer
+        # per sample — a scrape ingests a few hundred of these).
+        if not math.isfinite(value):
+            raise ValueError(
+                f"series {name} cannot ingest non-finite sample {value!r}"
+            )
+        samples = series.samples
+        if samples and ts_ns < samples[-1][0]:
+            raise ValueError(
+                f"series {name}: timestamps must not go backwards "
+                f"({samples[-1][0]} -> {ts_ns})"
+            )
+        samples.append((ts_ns, value))
+        cap = series.cap
+        if cap is not None and len(samples) > cap:
+            del samples[: len(samples) // 2]
 
     # ---------------------------------------------------- recording rules
 

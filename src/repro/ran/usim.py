@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.crypto.kdf import derive_kausf, derive_kseaf, derive_res_star
-from repro.crypto.milenage import Milenage
+from repro.crypto.milenage import milenage_for
 from repro.crypto.suci import Supi
 
 
@@ -57,7 +57,7 @@ class Usim:
         self._opc = opc
         self.amf_field = amf_field
         self.sqn_ms = sqn_ms  # highest SQN accepted so far
-        self._milenage = Milenage(k, opc)
+        self._milenage = milenage_for(k, opc)
 
     # ------------------------------------------------------------ challenge
 

@@ -107,6 +107,25 @@ class Runtime(ABC):
         for name, bytes_out, bytes_in in specs:
             self.syscall(name, bytes_out, bytes_in)
 
+    def compile_syscalls(self, specs: Iterable[Tuple[str, int, int]]) -> object:
+        """Precompile a fixed syscall sequence for repeated replay.
+
+        The HTTP layer replays the same handful of syscall profiles for
+        every request; compiling them once lets runtimes hoist per-spec
+        cost lookups out of the hot loop entirely.  Returns an opaque
+        handle for :meth:`syscall_profile`.  The handle is only valid on
+        the runtime that compiled it.
+        """
+        return list(specs)
+
+    def syscall_profile(self, handle: object) -> None:
+        """Replay a profile compiled by :meth:`compile_syscalls`.
+
+        Semantically identical to :meth:`syscall_batch` over the original
+        spec sequence.
+        """
+        self.syscall_batch(handle)  # type: ignore[arg-type]
+
     @abstractmethod
     def touch_pages(self, cold: int = 0, new: int = 0) -> None:
         """Touch memory pages (``new`` = first touch / fault)."""

@@ -92,6 +92,29 @@ class NativeRuntime(Runtime):
             total_ns += cost[1]
         cpu.spend_preconverted(total_cycles, total_ns)
 
+    def compile_syscalls(self, specs) -> object:
+        """Native profiles compile down to one pre-summed (cycles, ns) pair.
+
+        Per-spec rounding happens at compile time with the exact
+        :meth:`syscall` expressions, so replaying the handle is a single
+        ``spend_preconverted`` that leaves the clock bit-identical to the
+        per-call loop.
+        """
+        cpu = self.host.cpu
+        total_cycles = 0
+        total_ns = 0
+        for name, bytes_out, bytes_in in specs:
+            cost = cpu.round_cycle_cost(
+                _SYSCALL_TRAP_CYCLES + syscall_host_cycles(name, bytes_out + bytes_in)
+            )
+            total_cycles += cost[0]
+            total_ns += cost[1]
+        return (total_cycles, total_ns)
+
+    def syscall_profile(self, handle) -> None:
+        self._check_running()
+        self.host.cpu.spend_preconverted(handle[0], handle[1])
+
     def touch_pages(self, cold: int = 0, new: int = 0) -> None:
         self._check_running()
         self.host.cpu.spend_cycles(new * _MINOR_FAULT_CYCLES + cold * _COLD_ACCESS_CYCLES)

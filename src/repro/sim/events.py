@@ -94,6 +94,57 @@ class EventLog:
                     del counts[old_category]
         return event
 
+    def emit_shared(
+        self, timestamp_ns: int, category: str, detail: Dict[str, Any]
+    ) -> Event:
+        """Append an event whose ``detail`` dict is *shared* with the caller.
+
+        Semantics match :meth:`emit` except the dict is stored by
+        reference instead of being built from kwargs — hot emitters (the
+        fused Gramine OCALL batch) keep one dict per syscall spec and
+        reuse it across millions of events.  Callers must treat the dict
+        as frozen after the first emit.
+        """
+        event = Event(timestamp_ns, category, detail)
+        events = self._events
+        events.append(event)
+        counts = self._counts
+        counts[category] = counts.get(category, 0) + 1
+        if self._capacity is not None and len(events) > self._capacity:
+            popleft = events.popleft
+            for _ in range(len(events) // 2):
+                old_category = popleft().category
+                remaining = counts[old_category] - 1
+                if remaining:
+                    counts[old_category] = remaining
+                else:
+                    del counts[old_category]
+        return event
+
+    def bulk_appender(self, n: int):
+        """The deque's bound ``append`` when ``n`` appends cannot trim.
+
+        Hot fused emitters (the Gramine OCALL batch) construct
+        :class:`Event` objects themselves and append them directly,
+        settling the category index once per batch via :meth:`bump_count`.
+        That is exact whenever the batch cannot trigger a capacity trim —
+        always for an unbounded log, and for a bounded one whenever the
+        ``n`` new events still fit under the bound (the common case: the
+        log only crosses its bound once per ~capacity/2 events).  When a
+        trim could fire mid-batch, returns ``None`` and callers fall back
+        to :meth:`emit_shared` per event, which keeps the trim bookkeeping
+        bit-exact.
+        """
+        capacity = self._capacity
+        if capacity is None or len(self._events) + n <= capacity:
+            return self._events.append
+        return None
+
+    def bump_count(self, category: str, n: int) -> None:
+        """Settle the category index after ``n`` :meth:`bulk_appender` appends."""
+        counts = self._counts
+        counts[category] = counts.get(category, 0) + n
+
     def __len__(self) -> int:
         return len(self._events)
 

@@ -1,0 +1,128 @@
+"""Span freelist: recycled spans are fully re-initialised on reuse.
+
+The zero-alloc tracer keeps consumed :class:`Span` objects on a shared
+module-level pool; ``Tracer.begin`` must overwrite every slot so a
+recycled span can never leak the previous trace's name, kind,
+timestamps, tags or children into a new one.
+"""
+
+from repro.obs import trace
+from repro.obs.trace import Span, Tracer
+from repro.sim.clock import SimClock
+
+
+def _drain_pool():
+    trace._SPAN_POOL.clear()
+
+
+def test_recycle_returns_whole_tree_to_pool():
+    _drain_pool()
+    tracer = Tracer(SimClock())
+    root = tracer.begin("registration", "registration")
+    tracer.begin("nas", "nas")
+    tracer.begin("ocall", "sgx.ocall")
+    tracer.end(tracer._stack[-1])
+    tracer.end(tracer._stack[-1])
+    tracer.end(root)
+    tracer.recycle(root)
+    assert len(trace._SPAN_POOL) == 3
+    assert tracer.roots == []
+
+
+def test_recycled_span_never_leaks_prior_state():
+    _drain_pool()
+    clock = SimClock()
+    tracer = Tracer(clock)
+
+    first = tracer.begin("old-name", "old-kind", secret="hunter2", ue="ue-1")
+    clock.advance(1_234)
+    tracer.end(first, status=500)
+    old_end = first.end_ns
+    tracer.recycle(first)
+
+    clock.advance(5_000)
+    reused = tracer.begin("new-name", "new-kind", ue="ue-2")
+    assert reused is first  # the pool actually served the recycled object
+    assert reused.name == "new-name"
+    assert reused.kind == "new-kind"
+    assert reused.start_ns == clock.now_ns
+    assert reused.end_ns == clock.now_ns
+    assert reused.end_ns != old_end
+    assert reused.tags == {"ue": "ue-2"}
+    assert "secret" not in reused.tags
+    assert "status" not in reused.tags
+    assert reused.children == []
+    tracer.end(reused)
+
+
+def test_recycled_children_lists_are_emptied():
+    _drain_pool()
+    tracer = Tracer(SimClock())
+    root = tracer.begin("root")
+    child = tracer.begin("child")
+    tracer.end(child)
+    tracer.end(root)
+    tracer.recycle(root)
+
+    # Both spans sit in the pool with empty children; reusing one as a
+    # fresh leaf must not resurrect the old parent/child edge.
+    fresh_a = tracer.begin("a")
+    fresh_b = tracer.begin("b")
+    assert fresh_a.children == [fresh_b]
+    assert fresh_b.children == []
+    tracer.end(fresh_b)
+    tracer.end(fresh_a)
+
+
+def test_clear_recycle_true_pools_all_roots():
+    _drain_pool()
+    tracer = Tracer(SimClock())
+    for i in range(4):
+        span = tracer.begin(f"r{i}")
+        tracer.end(span)
+    tracer.clear(recycle=True)
+    assert len(trace._SPAN_POOL) == 4
+    assert tracer.roots == []
+
+    # Plain clear() drops roots without pooling them.
+    _drain_pool()
+    span = tracer.begin("kept-alive")
+    tracer.end(span)
+    tracer.clear()
+    assert trace._SPAN_POOL == []
+    assert span.name == "kept-alive"
+
+
+def test_pool_is_capacity_bounded():
+    _drain_pool()
+    tracer = Tracer(SimClock())
+    original_cap, trace._SPAN_POOL_CAP = trace._SPAN_POOL_CAP, 2
+    try:
+        for i in range(5):
+            span = tracer.begin(f"r{i}")
+            tracer.end(span)
+        tracer.clear(recycle=True)
+        assert len(trace._SPAN_POOL) == 2
+    finally:
+        trace._SPAN_POOL_CAP = original_cap
+        _drain_pool()
+
+
+def test_pooled_begin_matches_constructed_span():
+    _drain_pool()
+    clock = SimClock()
+    tracer = Tracer(clock)
+    recycled = tracer.begin("x", "y", a=1)
+    tracer.end(recycled)
+    tracer.recycle(recycled)
+
+    clock.advance(77)
+    pooled = tracer.begin("same", "kind", tag="v")
+    reference = Span("same", "kind", clock.now_ns, tag="v")
+    assert pooled.name == reference.name
+    assert pooled.kind == reference.kind
+    assert pooled.start_ns == reference.start_ns
+    assert pooled.end_ns == reference.end_ns
+    assert pooled.tags == reference.tags
+    assert pooled.children == reference.children
+    tracer.end(pooled)

@@ -1,0 +1,217 @@
+"""Batched hot-path rewrites against scalar references (hypothesis).
+
+The profiler-guided rewrite turned several per-block / per-call loops
+into single bulk passes: MILENAGE ``generate``/``f2345`` run all post-TEMP
+block encryptions as one ECB batch, AES-CMAC folds its chain into one
+zero-IV CBC pass, and the SBI codec serializes flat bodies without
+``json.dumps``.  Each rewrite must be **byte-for-byte** identical to the
+scalar form — these tests pin that by re-deriving every output the slow,
+literal way (per-block encryptions, spec-order rotations, ``json``
+itself) and comparing exact bytes.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES128, aes128_encrypt_block
+from repro.crypto.cmac import aes_cmac
+from repro.crypto.kdf import ts33220_kdf
+from repro.crypto.milenage import Milenage
+from repro.net.codec import dumps_flat, loads_object
+
+key16 = st.binary(min_size=16, max_size=16)
+block16 = st.binary(min_size=16, max_size=16)
+
+
+# --- scalar MILENAGE reference (TS 35.206 §4.1, one encryption per f) --
+
+
+def _xor16(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _rot(block: bytes, bits: int) -> bytes:
+    shift = (bits // 8) % 16
+    return block[shift:] + block[:shift]
+
+
+def _reference_milenage(k, opc, rand, sqn, amf):
+    """Literal per-function evaluation: six separate block encryptions."""
+    temp = aes128_encrypt_block(k, _xor16(rand, opc))
+    in1 = _xor16(sqn + amf + sqn + amf, opc)
+    out1 = _xor16(
+        aes128_encrypt_block(k, _xor16(temp, _rot(in1, 64))), opc
+    )
+
+    outs = []
+    for r, c in ((0, 1), (32, 2), (64, 4), (96, 8)):
+        block = _rot(_xor16(temp, opc), r)
+        block = block[:15] + bytes([block[15] ^ c])
+        outs.append(_xor16(aes128_encrypt_block(k, block), opc))
+    out2, out3, out4, out5 = outs
+    return {
+        "mac_a": out1[:8],
+        "mac_s": out1[8:],
+        "res": out2[8:16],
+        "ck": out3,
+        "ik": out4,
+        "ak": out2[:6],
+        "ak_star": out5[:6],
+    }
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    k=key16,
+    opc=key16,
+    rand=block16,
+    sqn=st.binary(min_size=6, max_size=6),
+    amf=st.binary(min_size=2, max_size=2),
+)
+def test_batched_generate_matches_scalar_reference(k, opc, rand, sqn, amf):
+    ref = _reference_milenage(k, opc, rand, sqn, amf)
+    vec = Milenage(k, opc).generate(rand, sqn, amf)
+    assert vec.mac_a == ref["mac_a"]
+    assert vec.mac_s == ref["mac_s"]
+    assert vec.res == ref["res"]
+    assert vec.ck == ref["ck"]
+    assert vec.ik == ref["ik"]
+    assert vec.ak == ref["ak"]
+    assert vec.ak_star == ref["ak_star"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(k=key16, opc=key16, rand=block16)
+def test_batched_f2345_matches_scalar_reference(k, opc, rand):
+    ref = _reference_milenage(k, opc, rand, bytes(6), bytes(2))
+    vec = Milenage(k, opc).f2345(rand)
+    assert (vec.res, vec.ck, vec.ik, vec.ak, vec.ak_star) == (
+        ref["res"], ref["ck"], ref["ik"], ref["ak"], ref["ak_star"]
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    k=key16,
+    opc=key16,
+    rand=block16,
+    sqn=st.binary(min_size=6, max_size=6),
+    amf=st.binary(min_size=2, max_size=2),
+)
+def test_f1_agrees_with_generate_and_reference(k, opc, rand, sqn, amf):
+    ref = _reference_milenage(k, opc, rand, sqn, amf)
+    mil = Milenage(k, opc)
+    mac_a, mac_s = mil.f1(rand, sqn, amf)
+    assert (mac_a, mac_s) == (ref["mac_a"], ref["mac_s"])
+    vec = mil.generate(rand, sqn, amf)
+    assert (vec.mac_a, vec.mac_s) == (mac_a, mac_s)
+
+
+# --- KDF vs an explicit HMAC-object reference --------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    key=st.binary(min_size=16, max_size=64),
+    fc=st.integers(min_value=0, max_value=0xFF),
+    params=st.lists(st.binary(max_size=64), max_size=4),
+)
+def test_kdf_matches_hmac_object_reference(key, fc, params):
+    import hashlib
+    import hmac as hmac_mod
+
+    s = bytes([fc])
+    for p in params:
+        s += p + len(p).to_bytes(2, "big")
+    expected = hmac_mod.new(key, s, hashlib.sha256).digest()
+    assert ts33220_kdf(key, fc, params) == expected
+
+
+# --- CBC-MAC / CMAC vs per-block encrypt chains ------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(key=key16, nblocks=st.integers(min_value=1, max_value=8), data=st.data())
+def test_cbc_mac_matches_per_block_chain(key, nblocks, data):
+    message = data.draw(
+        st.binary(min_size=16 * nblocks, max_size=16 * nblocks)
+    )
+    cipher = AES128(key)
+    x = bytes(16)
+    for i in range(nblocks):
+        x = cipher.encrypt_block(_xor16(x, message[i * 16 : (i + 1) * 16]))
+    assert cipher.cbc_mac(message) == x
+
+
+@settings(max_examples=60, deadline=None)
+@given(key=key16, message=st.binary(max_size=100))
+def test_cmac_matches_rfc4493_step_by_step(key, message):
+    # RFC 4493 §2.4, literally: subkeys from E_K(0), XOR K1/K2 into the
+    # last (padded) block, then the per-block CBC chain.
+    cipher = AES128(key)
+    l = cipher.encrypt_block(bytes(16))
+
+    def _shift(b):
+        v = int.from_bytes(b, "big") << 1
+        out = (v & ((1 << 128) - 1)).to_bytes(16, "big")
+        if v >> 128:
+            out = out[:15] + bytes([out[15] ^ 0x87])
+        return out
+
+    k1 = _shift(l)
+    k2 = _shift(k1)
+    n = max(1, (len(message) + 15) // 16)
+    if message and len(message) % 16 == 0:
+        last = _xor16(message[-16:], k1)
+    else:
+        tail = message[(n - 1) * 16 :]
+        last = _xor16(tail + b"\x80" + bytes(15 - len(tail)), k2)
+    x = bytes(16)
+    for i in range(n - 1):
+        x = cipher.encrypt_block(_xor16(x, message[i * 16 : (i + 1) * 16]))
+    x = cipher.encrypt_block(_xor16(x, last))
+    assert aes_cmac(key, message) == x
+
+
+# --- SBI codec vs json -------------------------------------------------
+
+_simple_text = st.text(
+    alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x7E),
+    max_size=24,
+)
+_flat_values = st.one_of(
+    _simple_text,
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.booleans(),
+    st.none(),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(payload=st.dictionaries(_simple_text, _flat_values, max_size=8))
+def test_dumps_flat_is_byte_identical_to_json(payload):
+    expected = json.dumps(payload, sort_keys=True).encode()
+    body = dumps_flat(payload)
+    assert body == expected
+    assert loads_object(body) == payload
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    payload=st.dictionaries(
+        st.text(max_size=8),
+        st.one_of(
+            st.text(max_size=16),
+            st.floats(allow_nan=False, allow_infinity=False),
+            st.lists(st.integers(), max_size=3),
+            st.dictionaries(st.text(max_size=4), st.integers(), max_size=2),
+        ),
+        max_size=6,
+    )
+)
+def test_dumps_flat_fallback_still_matches_json(payload):
+    # Rich payloads (escapes, non-ASCII keys, floats, nesting) must take
+    # the json fallback and stay byte-identical too.
+    assert dumps_flat(payload) == json.dumps(payload, sort_keys=True).encode()

@@ -1,0 +1,91 @@
+"""EventScheduler ordering, idle cost and EventLog bulk-append exactness."""
+
+from repro.sim.events import Event, EventLog
+from repro.sim.sched import EventScheduler
+
+
+class TestEventScheduler:
+    def test_fires_in_deadline_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule_at(30, lambda: fired.append("c"))
+        sched.schedule_at(10, lambda: fired.append("a"))
+        sched.schedule_at(20, lambda: fired.append("b"))
+        assert sched.run_due(25) == 2
+        assert fired == ["a", "b"]
+        assert sched.run_due(25) == 0  # nothing re-fires
+        assert sched.run_due(30) == 1  # deadline is inclusive
+        assert fired == ["a", "b", "c"]
+        assert not sched
+
+    def test_equal_deadlines_fire_in_registration_order(self):
+        sched = EventScheduler()
+        fired = []
+        for tag in ("first", "second", "third"):
+            sched.schedule_at(100, lambda t=tag: fired.append(t))
+        sched.run_due(100)
+        assert fired == ["first", "second", "third"]
+
+    def test_idle_run_due_is_a_noop(self):
+        sched = EventScheduler()
+        assert sched.run_due(10**18) == 0
+        sched.schedule_at(50, lambda: None)
+        assert sched.run_due(49) == 0
+        assert len(sched) == 1
+        assert sched.next_deadline_ns == 50
+
+    def test_clear_drops_everything(self):
+        sched = EventScheduler()
+        sched.schedule_at(1, lambda: None)
+        sched.clear()
+        assert sched.next_deadline_ns is None
+        assert sched.run_due(10) == 0
+
+    def test_one_tick_can_cross_many_edges(self):
+        sched = EventScheduler()
+        counter = []
+        for deadline in range(10):
+            sched.schedule_at(deadline, lambda d=deadline: counter.append(d))
+        assert sched.run_due(10**9) == 10
+        assert counter == list(range(10))
+
+
+class TestEventLogBulkAppend:
+    def test_unbounded_log_always_allows_bulk(self):
+        log = EventLog()
+        append = log.bulk_appender(3)
+        assert append is not None
+        for t in (1, 2, 3):
+            append(Event(t, "sgx.ocall", {"n": t}))
+        log.bump_count("sgx.ocall", 3)
+        assert len(log) == 3
+        assert log.count("sgx.ocall") == 3
+
+    def test_bulk_matches_emit_shared_exactly(self):
+        detail = {"enclave": "eudm", "syscall": "read"}
+        bulk, scalar = EventLog(capacity=100), EventLog(capacity=100)
+        append = bulk.bulk_appender(5)
+        for t in range(5):
+            append(Event(t, "sgx.ocall", detail))
+            scalar.emit_shared(t, "sgx.ocall", detail)
+        bulk.bump_count("sgx.ocall", 5)
+        assert list(bulk) == list(scalar)
+        assert bulk.count("sgx.ocall") == scalar.count("sgx.ocall")
+
+    def test_bounded_log_refuses_bulk_when_trim_could_fire(self):
+        log = EventLog(capacity=10)
+        for t in range(8):
+            log.emit(t, "sgx.ocall")
+        assert log.bulk_appender(2) is not None  # 8 + 2 == capacity: exact fit
+        assert log.bulk_appender(3) is None  # would cross the bound mid-batch
+
+    def test_fallback_path_keeps_trim_bookkeeping(self):
+        log = EventLog(capacity=10)
+        for t in range(10):
+            log.emit(t, "warm")
+        assert log.bulk_appender(1) is None
+        detail = {"enclave": "eudm", "syscall": "read"}
+        log.emit_shared(10, "sgx.ocall", detail)  # trims the oldest half
+        assert len(log) <= 10
+        assert log.count("sgx.ocall") == 1
+        assert log.count("warm") == len(log) - 1
