@@ -15,6 +15,9 @@ can be tracked with hard numbers:
                                warmed SGX testbed (the simulator hot path)
 * capacity regs/s (opt-in)   — host wall over a full ``--capacity N``
                                UE campaign (the 10k/100k-UE scale runs)
+* sharded regs/s (opt-in)    — host wall + serial-vs-fanned speedup of
+                               the partitioned ``--sharded-capacity``
+                               campaign (the million-UE scale-out path)
 * suite wall-clock (opt-in)  — one full ``pytest benchmarks`` run
 
 Results land in ``BENCH_hostperf.json`` at the repo root; each invocation
@@ -170,6 +173,45 @@ def measure_capacity(ues: int) -> dict:
         "host_regs_per_s": round(ues / wall_s, 2),
         "success_rate": report.derived["success_rate"],
         "simulated_regs_per_s": report.derived["simulated_regs_per_s"],
+    }
+
+
+def measure_sharded_capacity(ues: int, shards: int, jobs: int) -> dict:
+    """Host wall-clock speedup of the partitioned capacity campaign.
+
+    Runs the same ``ues``-UE campaign twice — once serially (``jobs=1``)
+    and once fanned out over ``jobs`` worker processes — and reports the
+    wall-clock speedup.  The merged reports are byte-identical by
+    contract (asserted here), so the speedup is pure harness
+    parallelism, never a change in the simulated science.
+    """
+    from repro.experiments.export import report_to_json
+    from repro.experiments.parallel import default_jobs
+    from repro.experiments.shard import sharded_campaign
+
+    jobs = jobs or default_jobs()
+
+    start = time.perf_counter()
+    serial = sharded_campaign(ues=ues, shards=shards, jobs=1)
+    serial_wall_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fanned = sharded_campaign(ues=ues, shards=shards, jobs=jobs)
+    fanned_wall_s = time.perf_counter() - start
+
+    if report_to_json(fanned.report) != report_to_json(serial.report):
+        raise RuntimeError("sharded campaign reports diverged across --jobs")
+
+    return {
+        "ues": ues,
+        "shards": shards,
+        "jobs": jobs,
+        "schedulable_cpus": default_jobs(),
+        "serial_wall_s": round(serial_wall_s, 2),
+        "wall_s": round(fanned_wall_s, 2),
+        "sharded_regs_per_s": round(ues / fanned_wall_s, 2),
+        "speedup": round(serial_wall_s / fanned_wall_s, 2),
+        "simulated_regs_per_s": fanned.report.derived["simulated_regs_per_s"],
     }
 
 
@@ -351,6 +393,39 @@ def main(argv=None) -> int:
         "(10_000 = the paper-scale run; 100_000 = the CI smoke arm)",
     )
     parser.add_argument(
+        "--sharded-capacity",
+        type=int,
+        default=None,
+        metavar="UES",
+        help="also wall-clock the partitioned (sharded) capacity campaign "
+        "of this many UEs, serial vs fanned-out, recording the speedup",
+    )
+    parser.add_argument(
+        "--sharded-shards",
+        type=int,
+        default=4,
+        metavar="N",
+        help="shard count for the --sharded-capacity run (default: 4)",
+    )
+    parser.add_argument(
+        "--sharded-jobs",
+        type=int,
+        default=0,
+        metavar="M",
+        help="worker processes for the fanned-out arm of the "
+        "--sharded-capacity run (0 = one per schedulable CPU)",
+    )
+    parser.add_argument(
+        "--sharded-gate",
+        type=float,
+        default=None,
+        metavar="SPEEDUP",
+        help="exit non-zero if the sharded-campaign wall-clock speedup "
+        "lands below this floor; the floor is automatically capped at "
+        "0.8 x min(shards, jobs, schedulable CPUs) so the gate only "
+        "bites where the hardware can actually deliver it",
+    )
+    parser.add_argument(
         "--tracer-gate",
         type=float,
         default=None,
@@ -381,6 +456,12 @@ def main(argv=None) -> int:
     }
     if args.capacity is not None:
         run["capacity"] = measure_capacity(args.capacity)
+    if args.sharded_capacity is not None or args.sharded_gate is not None:
+        run["sharded_capacity"] = measure_sharded_capacity(
+            args.sharded_capacity or 10_000,
+            args.sharded_shards,
+            args.sharded_jobs,
+        )
     # Gate measurements always use the full paired-sample count: the
     # estimator needs ~150 pairs for a stable trimmed mean, and --quick
     # shrinking them would just make the gate flaky.
@@ -423,6 +504,29 @@ def main(argv=None) -> int:
             f"note: {regs_per_s} registrations/s measured; no --fail-below "
             f"floor enforced on this run"
         )
+    if args.sharded_gate is not None:
+        sharded = run["sharded_capacity"]
+        # The gate can only demand what the hardware offers: a 1-CPU
+        # container cannot produce a 2.5x wall-clock speedup no matter
+        # how well the partitioning works, so the floor is capped by the
+        # effective parallelism of this run.
+        effective = min(
+            sharded["shards"], sharded["jobs"], sharded["schedulable_cpus"]
+        )
+        floor = min(args.sharded_gate, 0.8 * effective)
+        if floor < args.sharded_gate:
+            print(
+                f"note: --sharded-gate floor capped at {floor:.2f}x "
+                f"(effective parallelism {effective}, requested "
+                f"{args.sharded_gate}x)"
+            )
+        if sharded["speedup"] < floor:
+            print(
+                f"FAIL: sharded-campaign speedup {sharded['speedup']}x below "
+                f"the --sharded-gate floor of {floor:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
     if args.tracer_gate is not None:
         overhead = run["tracer_overhead"]["disabled_overhead_percent"]
         if overhead > args.tracer_gate:

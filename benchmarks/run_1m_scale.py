@@ -1,0 +1,50 @@
+"""One-off driver for the E-SCALE million-UE run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_1m_scale.py [UES] [SHARDS] [JOBS]
+
+Writes the merged report to ``benchmarks/results/`` like the pytest
+benchmarks do.  Kept as a script (rather than a benchmark test) because
+the run is tens of minutes on one core — far beyond any CI budget — and
+is only re-run when the scale-out numbers in EXPERIMENTS.md need
+refreshing.
+"""
+
+import pathlib
+import sys
+import time
+
+from repro.experiments.export import report_to_json
+from repro.experiments.shard import sharded_campaign
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def main(argv) -> int:
+    ues = int(argv[1]) if len(argv) > 1 else 1_000_000
+    shards = int(argv[2]) if len(argv) > 2 else 16
+    jobs = int(argv[3]) if len(argv) > 3 else 1
+
+    start = time.perf_counter()
+    result = sharded_campaign(ues=ues, shards=shards, jobs=jobs)
+    wall_s = time.perf_counter() - start
+
+    report = result.report
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{report.experiment_id}.txt").write_text(report.format() + "\n")
+    (RESULTS_DIR / f"{report.experiment_id}.json").write_text(
+        report_to_json(report) + "\n"
+    )
+    print(report.format())
+    print(f"  host wall-clock: {wall_s:.1f}s ({ues / wall_s:.1f} regs/s)")
+    failed = report.failed_checks()
+    if failed:
+        for check in failed:
+            print(f"  FAILED: {check.format()}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -516,6 +516,29 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    """Partitioned mass-registration campaign (E-CAP / E-SCALE)."""
+    from repro.experiments.export import report_to_json
+    from repro.experiments.shard import sharded_campaign
+
+    result = sharded_campaign(
+        ues=args.ues,
+        shards=args.shards,
+        jobs=args.jobs,
+        seed=args.seed,
+        monitor_cadence_s=args.monitor_cadence,
+    )
+    if args.json:
+        print(report_to_json(result.report))
+    else:
+        print(result.report.format())
+    if not result.report.all_checks_ok:
+        for check in result.report.failed_checks():
+            print("  FAILED " + check.format(), file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     report = _run_experiment(args.command, args)
     print(report.format())
@@ -647,6 +670,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="profiler-vs-trace exactness self-check (used by CI)",
     )
 
+    capacity = sub.add_parser(
+        "capacity",
+        help="partitioned mass-registration campaign: shard the UE "
+        "population over replica control-plane slices and merge the "
+        "per-shard simulations into one report",
+    )
+    capacity.add_argument("--ues", type=int, default=10_000)
+    capacity.add_argument(
+        "--shards", type=int, default=4,
+        help="control-plane shards (1 = the unsharded E-CAP campaign)",
+    )
+    capacity.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the shard arms (0 = one per "
+        "schedulable CPU); the merged report is byte-identical for any N",
+    )
+    capacity.add_argument("--seed", type=int, default=7)
+    capacity.add_argument(
+        "--monitor-cadence", type=float, default=None, metavar="S",
+        help="install a per-shard scraper at this simulated cadence and "
+        "merge the Tsdb series (shard label added); default off",
+    )
+    capacity.add_argument(
+        "--json", action="store_true",
+        help="emit the merged report as JSON (byte-identical per seed)",
+    )
+
     for name, description in _EXPERIMENTS.items():
         experiment = sub.add_parser(name, help=description)
         experiment.add_argument("--registrations", type=int, default=60)
@@ -680,6 +730,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_monitor(args)
         if args.command == "profile":
             return _cmd_profile(args)
+        if args.command == "capacity":
+            return _cmd_capacity(args)
         return _cmd_experiment(args)
     except BrokenPipeError:  # output piped into head/less and closed
         return 0

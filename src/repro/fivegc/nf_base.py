@@ -10,10 +10,12 @@ discover peers through it.
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from repro.container.network import BridgeNetwork, NetworkError
 from repro.faults.resilience import CircuitBreaker
+from repro.fivegc.routing import HashRing
 from repro.hw.host import PhysicalHost
 from repro.net.http import (
     HttpClient,
@@ -30,6 +32,28 @@ from repro.runtime.base import Runtime
 from repro.runtime.native import NativeRuntime
 
 
+@dataclass
+class DiscoveryRecord:
+    """One cached NRF discovery response, resolved to live peers.
+
+    ``peers_by_shard`` keys replicas by their advertised shard label
+    (replicas without one key by endpoint name); ``ring`` is the seeded
+    consistent-hash ring over those labels when the target NF type is
+    sharded, ``None`` for the single-instance case.
+    """
+
+    profiles: List[NFProfile]
+    peers_by_shard: Dict[str, "NetworkFunction"]
+    ring: Optional[HashRing] = None
+    registry: Dict[str, "NetworkFunction"] = field(default_factory=dict)
+
+
+# Ring seed for control-plane replica picks.  This is a *deployment
+# constant* shared by every SBI client and the gNB entry router — all
+# layers must hash a SUPI to the same shard — not an experiment seed.
+CONTROL_PLANE_RING_SEED = 0
+
+
 class NetworkFunction:
     """One control-plane VNF on the SBI bridge."""
 
@@ -41,10 +65,12 @@ class NetworkFunction:
         host: PhysicalHost,
         network: BridgeNetwork,
         runtime: Optional[Runtime] = None,
+        shard: Optional[str] = None,
     ) -> None:
         self.name = name
         self.host = host
         self.network = network
+        self.shard = shard
         self.runtime = runtime or NativeRuntime(name, host)
         self.server = HttpServer(name=name, runtime=self.runtime, network=network)
         self.client = HttpClient(
@@ -52,16 +78,26 @@ class NetworkFunction:
         )
         self._connections: Dict[str, HttpConnection] = {}
         self._peers: Dict[NFType, "NetworkFunction"] = {}
+        # Cached NRF discovery responses (one record per target NF type);
+        # repeated discover() calls are served from here until an
+        # explicit invalidation (peer death/restart) drops the entry.
+        self._discovery: Dict[NFType, DiscoveryRecord] = {}
         # Resilience: optional SBI retry policy (None = single attempt,
         # the pre-resilience hot path) and a per-peer circuit breaker so
         # a dead peer fails fast instead of wedging every caller.
         self.retry_policy: Optional[RetryPolicy] = None
         self.circuit_breakers: Dict[str, CircuitBreaker] = {}
+        # The shard label travels in the NRF profile metadata so peers
+        # can make the same-slice pick; unsharded NFs advertise nothing
+        # (keeps the registration body — and thus simulated serialization
+        # time — byte-identical to the pre-shard deployment).
+        metadata = {} if shard is None else {"shard": shard}
         self.profile = NFProfile(
             nf_instance_id=f"{name}-0001",
             nf_type=self.NF_TYPE,
             endpoint_name=name,
             services=[],
+            metadata=metadata,
         )
         self._register_routes()
         self._route_json("GET", NF_HEALTH, self._handle_health)
@@ -178,13 +214,32 @@ class NetworkFunction:
             raise RuntimeError(f"{self.name}: NRF registration failed: {response.status}")
         self._peers[NFType.NRF] = nrf
 
-    def discover(self, nf_type: NFType, registry: Dict[str, "NetworkFunction"]) -> "NetworkFunction":
-        """Discover a peer NF of ``nf_type`` through the NRF and bind it.
+    def discover(
+        self,
+        nf_type: NFType,
+        registry: Dict[str, "NetworkFunction"],
+        refresh: bool = False,
+    ) -> "NetworkFunction":
+        """Discover peers of ``nf_type`` through the NRF and bind one.
 
         ``registry`` maps endpoint names to live NF objects (the simulation's
         address resolution; the NRF response supplies the endpoint name).
+
+        The full discovery response is **cached**: repeated calls are
+        answered locally with no NRF round-trip until the entry is
+        dropped (``refresh=True``, :meth:`invalidate_discovery`, or a
+        :meth:`restart` of this NF).  When the response carries several
+        replicas the pick is deterministic client-side load balancing:
+        the replica advertising this NF's own shard label wins (replica-
+        set affinity), otherwise the first profile — per-key picks go
+        through :meth:`peer_for`.
         """
         from repro.net.sbi import NRF_DISCOVER
+
+        if not refresh:
+            cached = self._discovery.get(nf_type)
+            if cached is not None:
+                return self._peers[nf_type]
 
         nrf = self._peers.get(NFType.NRF)
         if nrf is None:
@@ -196,15 +251,75 @@ class NetworkFunction:
             raise RuntimeError(
                 f"{self.name}: discovery of {nf_type.value} failed: {response.status}"
             )
-        profiles = response.json().get("nfInstances", [])
-        if not profiles:
+        raw_profiles = response.json().get("nfInstances", [])
+        if not raw_profiles:
             raise RuntimeError(f"{self.name}: no {nf_type.value} instances registered")
-        endpoint = str(profiles[0]["endpoint"])
-        peer = registry.get(endpoint)
-        if peer is None:
-            raise RuntimeError(f"{self.name}: discovered unknown endpoint {endpoint!r}")
-        self._peers[nf_type] = peer
-        return peer
+        profiles = [NFProfile.from_dict(raw) for raw in raw_profiles]
+
+        peers_by_shard: Dict[str, "NetworkFunction"] = {}
+        for profile in profiles:
+            peer = registry.get(profile.endpoint_name)
+            if peer is None:
+                raise RuntimeError(
+                    f"{self.name}: discovered unknown endpoint "
+                    f"{profile.endpoint_name!r}"
+                )
+            label = profile.metadata.get("shard", profile.endpoint_name)
+            peers_by_shard[label] = peer
+
+        sharded = len(profiles) > 1 and all(
+            "shard" in profile.metadata for profile in profiles
+        )
+        ring = (
+            HashRing(sorted(peers_by_shard), seed=CONTROL_PLANE_RING_SEED)
+            if sharded
+            else None
+        )
+        self._discovery[nf_type] = DiscoveryRecord(
+            profiles=profiles,
+            peers_by_shard=peers_by_shard,
+            ring=ring,
+            registry=registry,
+        )
+
+        # Deterministic bind: same-shard replica if one is advertised,
+        # else the first instance (the pre-shard behaviour).
+        chosen = profiles[0]
+        if self.shard is not None:
+            for profile in profiles:
+                if profile.metadata.get("shard") == self.shard:
+                    chosen = profile
+                    break
+        picked = registry[chosen.endpoint_name]
+        self._peers[nf_type] = picked
+        return picked
+
+    def peer_for(self, nf_type: NFType, key: str) -> "NetworkFunction":
+        """The replica of ``nf_type`` serving routing key ``key``.
+
+        Single-instance targets return the bound peer (no hashing); a
+        sharded target is picked through the cached discovery ring, so
+        a given key always lands on the same replica as it does at every
+        other layer of the deployment.
+        """
+        record = self._discovery.get(nf_type)
+        if record is None or record.ring is None:
+            return self.peer(nf_type)
+        return record.peers_by_shard[record.ring.pick(str(key))]
+
+    def invalidate_discovery(self, nf_type: Optional[NFType] = None) -> None:
+        """Drop cached discovery state (all types, or just ``nf_type``).
+
+        Called when a discovered peer dies or restarts: the next
+        :meth:`discover` performs a fresh NRF round-trip instead of
+        reusing the stale entry (whose cached connection may point at a
+        poisoned TLS stream).  The bound peer mapping survives so
+        in-flight code paths keep a target until rediscovery.
+        """
+        if nf_type is None:
+            self._discovery.clear()
+        else:
+            self._discovery.pop(nf_type, None)
 
     def peer(self, nf_type: NFType) -> "NetworkFunction":
         try:
@@ -247,6 +362,7 @@ class NetworkFunction:
         for connection in self._connections.values():
             connection.open = False
         self._connections.clear()
+        self._discovery.clear()  # cold caches: rediscover peers via the NRF
         self.server.reset_stats()
         self.client.reset_stats()
         self.circuit_breakers.clear()

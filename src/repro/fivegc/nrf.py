@@ -47,9 +47,14 @@ class Nrf(NetworkFunction):
         except ValueError:
             raise JsonApiError(400, f"unknown NF type {target!r}")
         context.runtime.compute(4_000)  # registry scan
+        # Canonical ordering: replicas come back sorted by instance id,
+        # so every client builds the same ring regardless of the order
+        # replicas registered (or re-registered after a restart) in.
         matches: List[dict] = [
             profile.to_dict()
-            for profile in self._registry.values()
+            for profile in sorted(
+                self._registry.values(), key=lambda p: p.nf_instance_id
+            )
             if profile.nf_type is nf_type
         ]
         return self._ok({"nfInstances": matches})

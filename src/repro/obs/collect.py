@@ -32,6 +32,23 @@ def collect_sgx_stats(
     registry.counter("sgx_bytes_copied_out_total", **labels).set(stats.bytes_copied_out)
 
 
+def _paka_module_items(paka: Any):
+    """``(component, module)`` pairs, one per deployed replica.
+
+    ``PakaSlice.modules`` aliases the first replica under the plain short
+    name when ``replicas > 1``; walking ``replica_groups`` instead keeps
+    every module exactly once (``eudm``, then ``eudm#1`` …).
+    """
+    groups = getattr(paka, "replica_groups", None)
+    if not groups:
+        return list(paka.modules.items())
+    items = []
+    for short_name, group in groups.items():
+        for k, module in enumerate(group):
+            items.append((short_name if k == 0 else f"{short_name}#{k}", module))
+    return items
+
+
 def collect_testbed_metrics(
     testbed: Any,
     registry: Optional[MetricsRegistry] = None,
@@ -40,14 +57,21 @@ def collect_testbed_metrics(
     """Snapshot a whole testbed (Fig 4) into one registry."""
     registry = registry if registry is not None else MetricsRegistry()
 
+    # Replica-aware: a sharded testbed exposes its serving path as lists
+    # (first replica keeps the legacy attribute); iterate every slice so
+    # nothing is invisible to the scraper.  Single-slice testbeds walk
+    # the exact same objects in the exact same order as before.
+    udms = getattr(testbed, "udms", None) or [testbed.udm]
+    ausfs = getattr(testbed, "ausfs", None) or [testbed.ausf]
+    amfs = getattr(testbed, "amfs", None) or [testbed.amf]
     for nf in (
-        testbed.nrf, testbed.udr, testbed.udm, testbed.ausf,
-        testbed.amf, testbed.smf, testbed.upf,
+        testbed.nrf, testbed.udr, *udms, *ausfs, *amfs,
+        testbed.smf, testbed.upf,
     ):
         nf.collect_metrics(registry)
 
     if testbed.paka is not None:
-        for name, module in testbed.paka.modules.items():
+        for name, module in _paka_module_items(testbed.paka):
             module.server.collect_metrics(registry, component=name)
             stats = module.runtime.sgx_stats
             if stats is not None:
@@ -101,7 +125,9 @@ def trace_registration(
         raise RuntimeError("a tracer is already installed on this host")
 
     ue = testbed.add_subscriber()
-    modules = dict(testbed.paka.modules) if testbed.paka is not None else {}
+    modules = (
+        dict(_paka_module_items(testbed.paka)) if testbed.paka is not None else {}
+    )
     before = {
         name: module.runtime.sgx_stats.snapshot()
         for name, module in modules.items()

@@ -249,6 +249,35 @@ class Tsdb:
             return None
         return self.increase(basename + "_sum", window_ns, at_ns, **labels) / count
 
+    # -------------------------------------------------------- merge / load
+
+    def absorb(self, data: Dict[str, Any], **extra_labels: str) -> None:
+        """Merge a :meth:`to_dict` dump into this store.
+
+        ``extra_labels`` are added to every absorbed series — the
+        partitioned campaign driver merges per-shard dumps with a
+        ``shard`` label, so same-named series from different shards stay
+        distinct (and per-shard timestamp monotonicity is preserved).
+        Scrape times are pooled and kept sorted, which makes the merged
+        store independent of absorb order.
+        """
+        for raw in data.get("series", []):
+            labels = dict(raw["labels"])
+            labels.update(extra_labels)
+            series = self.series(raw["name"], kind=raw["kind"], **labels)
+            for ts_ns, value in raw["samples"]:
+                series.append(int(ts_ns), float(value))
+        self.scrape_times = sorted(
+            self.scrape_times + [int(t) for t in data.get("scrape_times", [])]
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Tsdb":
+        """Rebuild a store from a :meth:`to_dict` dump."""
+        tsdb = cls(cap=data.get("cap"))
+        tsdb.absorb(data)
+        return tsdb
+
     # ------------------------------------------------------------- export
 
     def to_dict(self) -> Dict[str, Any]:

@@ -48,12 +48,17 @@ class Gnb:
         amf: Amf,
         plmn: str = "00101",
         airlink: Optional[AirLinkModel] = None,
+        router: Optional[object] = None,
     ) -> None:
         self.name = name
         self.host = host
         self.amf = amf
         self.plmn = plmn
         self.airlink = airlink or AirLinkModel()
+        # Sharded control plane: a ControlPlaneRouter pins each UE to an
+        # AMF replica by consistent-hashing its SUPI.  None (the default)
+        # keeps the single-AMF N2 binding.
+        self.router = router
         self.registrations_attempted = 0
         self.registrations_succeeded = 0
 
@@ -93,6 +98,14 @@ class Gnb:
                 f"{ue.profile.required_os_version})",
             )
 
+        # N2 routing: a sharded deployment pins the UE to its slice's AMF
+        # (ring pick on the SUPI, same hash every layer applies); the
+        # unsharded path keeps the static binding.
+        amf = (
+            self.router.amf_for(str(ue.usim.supi))
+            if self.router is not None
+            else self.amf
+        )
         clock = self.host.clock
         # Span tracing (repro.obs): the registration root wraps the same
         # measure() window as session_setup_ms, so the traced duration is
@@ -123,7 +136,7 @@ class Gnb:
                     try:
                         self._air(uplink)
                         self._n2()
-                        downlink = self.amf.handle_nas(ue.name, uplink)
+                        downlink = amf.handle_nas(ue.name, uplink)
                         exchanges += 1
                         self._n2()
                         self._air(downlink)
@@ -146,7 +159,7 @@ class Gnb:
                         pdu_request = ue.build_pdu_session_request()
                         self._air(pdu_request)
                         self._n2()
-                        accept = self.amf.handle_nas(ue.name, pdu_request)
+                        accept = amf.handle_nas(ue.name, pdu_request)
                         exchanges += 1
                         self._n2()
                         self._air(accept)

@@ -1,5 +1,9 @@
 """The parallel arm runner: semantics, and parallel == serial determinism."""
 
+import os
+from concurrent.futures import ProcessPoolExecutor
+from unittest import mock
+
 import pytest
 
 from repro.experiments.figures import figure9_functional_total_latency
@@ -36,6 +40,52 @@ def test_run_arms_jobs_zero_means_cpu_count():
     assert default_jobs() >= 1
     results = run_arms([Arm(key="only", fn=_square, kwargs={"x": 5})], jobs=0)
     assert results == {"only": 25}
+
+
+def test_default_jobs_respects_scheduler_affinity():
+    """In a cpuset-limited container the schedulable set, not the machine
+    CPU count, is the honest parallelism bound."""
+    if hasattr(os, "sched_getaffinity"):
+        assert default_jobs() == len(os.sched_getaffinity(0))
+    with mock.patch.object(
+        os, "sched_getaffinity", create=True, return_value={0, 1}
+    ):
+        assert default_jobs() == 2
+
+
+def test_default_jobs_falls_back_to_cpu_count():
+    """macOS/Windows have no sched_getaffinity: fall back to cpu_count."""
+    with mock.patch.object(
+        os, "sched_getaffinity", create=True,
+        side_effect=AttributeError("no affinity here"),
+    ):
+        assert default_jobs() == (os.cpu_count() or 1)
+
+
+def test_run_arms_on_a_caller_owned_pool():
+    arms = [Arm(key=f"k{i}", fn=_square, kwargs={"x": i}) for i in range(4)]
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        pooled_once = run_arms(arms, pool=pool)
+        pooled_again = run_arms(arms, pool=pool)  # pool survives the call
+    assert pooled_once == run_arms(arms, jobs=1)
+    assert pooled_again == pooled_once
+    assert list(pooled_once) == ["k0", "k1", "k2", "k3"]
+
+
+def test_multi_round_campaign_on_shared_pool_is_byte_identical():
+    """Satellite regression: reusing one executor across rounds changes
+    nothing in the results, round for round, byte for byte."""
+    rounds = [
+        [
+            Arm(key=f"seed={seed}", fn=_registration_arm, kwargs={"seed": seed})
+            for seed in group
+        ]
+        for group in ((51, 52), (53, 54))
+    ]
+    serial = [run_arms(arms, jobs=1) for arms in rounds]
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        shared = [run_arms(arms, pool=pool) for arms in rounds]
+    assert shared == serial
 
 
 def test_run_pairs_wrapper():

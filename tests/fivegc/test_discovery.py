@@ -1,0 +1,128 @@
+"""NRF discovery: response caching, invalidation, replica load balancing."""
+
+import pytest
+
+from repro.container.network import BridgeNetwork
+from repro.fivegc.nf_base import CONTROL_PLANE_RING_SEED
+from repro.fivegc.nrf import Nrf
+from repro.fivegc.routing import supi_ring
+from repro.fivegc.udm import Udm
+from repro.fivegc.udr import AuthSubscription, Udr
+from repro.fivegc.ausf import Ausf
+from repro.net.sbi import NFType
+
+
+@pytest.fixture
+def fabric(host):
+    """An NRF, a UDR and two sharded UDM replicas, all registered."""
+    bridge = BridgeNetwork(name="sbi", host=host)
+    nrf = Nrf("nrf", host, bridge)
+    udr = Udr("udr", host, bridge)
+    udms = [
+        Udm("udm", host, bridge, shard="0"),
+        Udm("udm-1", host, bridge, shard="1"),
+    ]
+    ausf = Ausf("ausf", host, bridge, shard="0")
+    registry = {nf.name: nf for nf in (nrf, udr, *udms, ausf)}
+    for nf in (udr, *udms, ausf):
+        nf.register_with(nrf)
+    return nrf, udr, udms, ausf, registry
+
+
+def test_second_discover_is_served_from_cache(fabric):
+    nrf, _, udms, ausf, registry = fabric
+    before = nrf.server.requests_served
+    first = ausf.discover(NFType.UDM, registry)
+    assert nrf.server.requests_served == before + 1
+    second = ausf.discover(NFType.UDM, registry)
+    assert second is first
+    # No second NRF round-trip: the cache answered.
+    assert nrf.server.requests_served == before + 1
+
+
+def test_refresh_forces_a_fresh_nrf_round_trip(fabric):
+    nrf, _, udms, ausf, registry = fabric
+    ausf.discover(NFType.UDM, registry)
+    before = nrf.server.requests_served
+    ausf.discover(NFType.UDM, registry, refresh=True)
+    assert nrf.server.requests_served == before + 1
+
+
+def test_invalidate_discovery_drops_one_or_all_entries(fabric):
+    nrf, udr, udms, ausf, registry = fabric
+    ausf.discover(NFType.UDM, registry)
+    ausf.discover(NFType.UDR, registry)
+    ausf.invalidate_discovery(NFType.UDM)
+    before = nrf.server.requests_served
+    ausf.discover(NFType.UDR, registry)  # still cached
+    assert nrf.server.requests_served == before
+    ausf.discover(NFType.UDM, registry)  # dropped: NRF round-trip
+    assert nrf.server.requests_served == before + 1
+    ausf.invalidate_discovery()
+    ausf.discover(NFType.UDR, registry)
+    assert nrf.server.requests_served == before + 2
+
+
+def test_stale_cache_after_peer_restart_is_refreshed_not_poisoned(fabric):
+    """A restarted replica must be rediscovered and reachable.
+
+    The cached discovery entry (and the cached TLS connection under it)
+    predate the restart; after invalidation the next discover performs a
+    fresh NRF round-trip and calls reach the revived peer, rather than
+    being routed down the poisoned pre-restart connection.
+    """
+    nrf, udr, udms, ausf, registry = fabric
+    bound = ausf.discover(NFType.UDM, registry)
+    assert bound is udms[0]  # same-shard affinity
+    # Drive one real call over the discovered binding (warms the TLS
+    # connection that the restart will orphan).
+    udr.provision(
+        AuthSubscription(supi="imsi-001010000000077", k=b"k" * 16, opc=b"o" * 16)
+    )
+    for udm in udms:
+        udm.discover(NFType.UDR, registry)
+    ok = ausf.call(
+        bound, "POST", "/nudm-ueau/v1/generate-auth-data",
+        {"servingNetworkName": "5G:mnc001.mcc001.3gppnetwork.org",
+         "supi": "imsi-001010000000077"},
+    )
+    assert ok.ok
+
+    udms[0].restart()
+    # The revived process rediscovers its own peers via the NRF...
+    assert udms[0]._discovery == {}
+    udms[0].discover(NFType.UDR, registry)
+    # ...and the client drops its stale entry and rediscovers too.
+    ausf.invalidate_discovery(NFType.UDM)
+    before = nrf.server.requests_served
+    rebound = ausf.discover(NFType.UDM, registry)
+    assert nrf.server.requests_served == before + 1
+    assert rebound is udms[0]
+    again = ausf.call(
+        rebound, "POST", "/nudm-ueau/v1/generate-auth-data",
+        {"servingNetworkName": "5G:mnc001.mcc001.3gppnetwork.org",
+         "supi": "imsi-001010000000077"},
+    )
+    assert again.ok
+
+
+def test_discover_binds_same_shard_replica(fabric):
+    _, _, udms, ausf, registry = fabric
+    assert ausf.shard == "0"
+    assert ausf.discover(NFType.UDM, registry) is udms[0]
+
+
+def test_peer_for_follows_the_deployment_ring(fabric):
+    _, _, udms, ausf, registry = fabric
+    ausf.discover(NFType.UDM, registry)
+    ring = supi_ring(2, seed=CONTROL_PLANE_RING_SEED)
+    by_shard = {"0": udms[0], "1": udms[1]}
+    for i in range(50):
+        key = f"imsi-00101{i:010d}"
+        assert ausf.peer_for(NFType.UDM, key) is by_shard[ring.pick(key)]
+
+
+def test_peer_for_single_instance_skips_hashing(fabric):
+    _, udr, _, ausf, registry = fabric
+    ausf.discover(NFType.UDR, registry)
+    assert ausf.peer_for(NFType.UDR, "imsi-001010000000001") is udr

@@ -1,0 +1,111 @@
+"""Consistent-hash routing: determinism, balance, minimal re-homing."""
+
+import pytest
+
+from repro.fivegc.routing import (
+    ControlPlaneRouter,
+    HashRing,
+    shard_labels,
+    supi_ring,
+)
+
+
+def _population(n=4000):
+    return [f"imsi-00101{i:010d}" for i in range(n)]
+
+
+def test_ring_pick_is_deterministic_per_seed():
+    a = HashRing(["0", "1", "2"], seed=0)
+    b = HashRing(["0", "1", "2"], seed=0)
+    keys = _population(500)
+    assert [a.pick(k) for k in keys] == [b.pick(k) for k in keys]
+
+
+def test_ring_seed_changes_assignment():
+    keys = _population(500)
+    a = HashRing(["0", "1", "2"], seed=0)
+    b = HashRing(["0", "1", "2"], seed=99)
+    assert [a.pick(k) for k in keys] != [b.pick(k) for k in keys]
+
+
+def test_ring_pick_independent_of_insertion_order():
+    keys = _population(500)
+    forward = HashRing(["0", "1", "2", "3"], seed=0)
+    backward = HashRing(["3", "2", "1", "0"], seed=0)
+    assert [forward.pick(k) for k in keys] == [backward.pick(k) for k in keys]
+
+
+def test_ring_balance_within_reason():
+    """64 vnodes keep the worst shard within ~2x of fair share."""
+    ring = supi_ring(4)
+    counts = {label: 0 for label in shard_labels(4)}
+    for key in _population(4000):
+        counts[ring.pick(key)] += 1
+    assert all(counts.values()), counts
+    assert max(counts.values()) < 2 * (4000 / 4), counts
+
+
+def test_adding_a_node_moves_about_one_over_n_keys():
+    """The consistent-hashing contract: scale-out re-homes ~1/(N+1)."""
+    keys = _population(4000)
+    before = supi_ring(4)
+    grown = HashRing(shard_labels(4), seed=0)
+    grown.add("4")
+    moved = sum(1 for k in keys if before.pick(k) != grown.pick(k))
+    # Expected 1/5 = 20%; allow generous slack for vnode placement noise.
+    assert 0.05 < moved / len(keys) < 0.40, moved
+    # Every moved key must have moved TO the new node, never reshuffled
+    # between survivors.
+    for key in keys:
+        if before.pick(key) != grown.pick(key):
+            assert grown.pick(key) == "4"
+
+
+def test_remove_rehomes_only_the_removed_nodes_keys():
+    keys = _population(2000)
+    full = supi_ring(4)
+    shrunk = HashRing(shard_labels(4), seed=0)
+    shrunk.remove("2")
+    for key in keys:
+        owner = full.pick(key)
+        if owner != "2":
+            assert shrunk.pick(key) == owner
+        else:
+            assert shrunk.pick(key) != "2"
+
+
+def test_ring_edge_cases():
+    with pytest.raises(RuntimeError):
+        HashRing(seed=0).pick("anything")
+    with pytest.raises(KeyError):
+        HashRing(["0"], seed=0).remove("7")
+    with pytest.raises(ValueError):
+        HashRing(vnodes=0)
+    ring = HashRing(["0"], seed=0)
+    ring.add("0")  # idempotent duplicate add
+    assert len(ring) == 1
+    assert all(ring.pick(k) == "0" for k in _population(50))
+
+
+def test_shard_labels_and_supi_ring():
+    assert shard_labels(3) == ["0", "1", "2"]
+    with pytest.raises(ValueError):
+        shard_labels(0)
+    assert supi_ring(2).nodes == ("0", "1")
+
+
+def test_router_requires_an_amf_per_shard():
+    ring = supi_ring(2)
+    with pytest.raises(ValueError, match="without an AMF"):
+        ControlPlaneRouter(ring, {"0": object()})
+
+
+def test_router_pins_supi_to_one_amf():
+    ring = supi_ring(3)
+    amfs = {label: object() for label in shard_labels(3)}
+    router = ControlPlaneRouter(ring, amfs)
+    for key in _population(200):
+        shard = router.shard_for(key)
+        assert router.amf_for(key) is amfs[shard]
+        # Stable across repeated lookups.
+        assert router.shard_for(key) == shard

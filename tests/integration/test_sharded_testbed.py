@@ -1,0 +1,124 @@
+"""Sharded control plane: replica slices, UE pinning, golden preservation.
+
+``TestbedConfig(replicas=N)`` replicates the serving path (AMF, AUSF,
+UDM, and each one's P-AKA module) into N NRF-registered slices; UEs are
+pinned to a slice by a seeded consistent hash of their SUPI at the gNB's
+N2 entry, and every SBI layer makes the same pick.  ``replicas=1`` must
+be indistinguishable — to the simulated nanosecond — from the pre-shard
+testbed, which the golden-clock constants pin.
+"""
+
+import pytest
+
+from repro.experiments.harness import warmed_testbed
+from repro.net.sbi import NFType
+from repro.paka.deploy import IsolationMode
+from repro.testbed import Testbed, TestbedConfig
+from tests.integration.test_golden_clocks import SGX_GOLDEN_CLOCKS
+
+
+def _sharded(replicas=3, seed=7, isolation=IsolationMode.SGX):
+    return Testbed.build(
+        TestbedConfig(isolation=isolation, seed=seed, replicas=replicas)
+    )
+
+
+def test_replicas_one_is_byte_identical_to_the_unsharded_testbed():
+    """The explicit replicas=1 config replays the golden clock exactly."""
+    testbed = warmed_testbed(IsolationMode.SGX, seed=7, replicas=1)
+    for _ in range(5):
+        outcome = testbed.register(testbed.add_subscriber(), establish_session=False)
+        assert outcome.success
+    assert testbed.host.clock.now_ns == SGX_GOLDEN_CLOCKS[7]
+
+
+def test_replica_fleet_is_nrf_registered_and_wired():
+    testbed = _sharded(replicas=3)
+    assert [amf.name for amf in testbed.amfs] == ["amf", "amf-1", "amf-2"]
+    assert len(testbed.nrf.registered(NFType.AMF)) == 3
+    assert len(testbed.nrf.registered(NFType.UDM)) == 3
+    assert len(testbed.nrf.registered(NFType.AUSF)) == 3
+    # Vertical slices: amf-k is bound to ausf-k is bound to udm-k.
+    for k in range(3):
+        assert testbed.amfs[k].peer(NFType.AUSF) is testbed.ausfs[k]
+        assert testbed.ausfs[k].peer(NFType.UDM) is testbed.udms[k]
+        # ... and each NF talks to its own slice's P-AKA module.
+        assert testbed.udms[k].offload_module is (
+            testbed.paka.replica_groups["eudm"][k]
+        )
+        assert testbed.amfs[k].offload_module is (
+            testbed.paka.replica_groups["eamf"][k]
+        )
+
+
+def test_registrations_succeed_and_spread_across_shards():
+    testbed = _sharded(replicas=3)
+    served = {k: 0 for k in range(3)}
+    for _ in range(18):
+        ue = testbed.add_subscriber()
+        outcome = testbed.register(ue, establish_session=False)
+        assert outcome.success, outcome.failure_cause
+        shard = int(testbed.router.shard_for(str(ue.usim.supi)))
+        served[shard] += 1
+    # The serving AMF (and only it) holds the session.
+    for k, amf in enumerate(testbed.amfs):
+        assert amf.registered_count() == served[k]
+    # 18 UEs over 3 shards: every shard saw traffic.
+    assert all(served.values()), served
+
+
+def test_reregistration_by_guti_lands_on_the_same_shard():
+    """GUTI re-registration works because the SUPI re-hashes to the same
+    slice — the only AMF that can resolve the temporary identity."""
+    testbed = _sharded(replicas=3)
+    ue = testbed.add_subscriber()
+    first = testbed.register(ue, establish_session=False)
+    assert first.success
+    guti = ue.guti
+    assert guti is not None
+    ue.registered = False  # simulate a detach; UE keeps its GUTI
+    again = testbed.register(ue, establish_session=False)
+    assert again.success, again.failure_cause
+    assert again.guti != guti  # fresh GUTI from the same slice
+
+
+def test_sharded_runs_are_deterministic_per_seed():
+    clocks = []
+    for _ in range(2):
+        testbed = _sharded(replicas=3, seed=21)
+        for _ in range(9):
+            outcome = testbed.register(
+                testbed.add_subscriber(), establish_session=False
+            )
+            assert outcome.success
+        clocks.append(testbed.host.clock.now_ns)
+    assert clocks[0] == clocks[1]
+
+
+def _module_holds_key(module, supi):
+    try:
+        module.runtime.load_secret(f"k:{supi}")
+    except KeyError:
+        return False
+    return True
+
+
+def test_subscriber_keys_are_provisioned_into_the_serving_slice_only():
+    testbed = _sharded(replicas=3)
+    ue = testbed.add_subscriber()
+    supi = str(ue.usim.supi)
+    shard = testbed.router.shard_for(supi)
+    for label, udm in testbed._udm_by_shard.items():
+        assert _module_holds_key(udm.offload_module, supi) == (label == shard)
+
+
+def test_replicas_must_be_positive():
+    with pytest.raises(ValueError, match="replicas"):
+        Testbed.build(TestbedConfig(isolation=None, replicas=0))
+
+
+def test_monolithic_sharding_works_without_modules():
+    testbed = _sharded(replicas=2, isolation=None)
+    for _ in range(6):
+        outcome = testbed.register(testbed.add_subscriber(), establish_session=False)
+        assert outcome.success

@@ -116,3 +116,32 @@ def test_to_dict_is_sorted_and_json_ready():
     assert [entry["name"] for entry in payload["series"]] == ["a_total", "b_total"]
     assert payload["cap"] == 8
     assert json.dumps(payload)  # JSON-serialisable as-is
+
+
+def test_from_dict_round_trips():
+    tsdb = Tsdb(cap=8)
+    tsdb.series("req_total", kind="counter", nf="amf").append(1, 3.0)
+    tsdb.series("depth", kind="gauge").append(2, 1.5)
+    tsdb.scrape_times.extend([1, 2])
+    rebuilt = Tsdb.from_dict(tsdb.to_dict())
+    assert rebuilt.to_dict() == tsdb.to_dict()
+
+
+def test_absorb_adds_labels_and_pools_scrape_times():
+    shard0, shard1 = Tsdb(), Tsdb()
+    shard0.series("req_total", kind="counter").append(10, 1.0)
+    shard0.scrape_times.append(10)
+    shard1.series("req_total", kind="counter").append(5, 2.0)
+    shard1.scrape_times.append(5)
+
+    # Absorb order must not matter: same-named series stay distinct via
+    # the shard label, scrape times come back sorted.
+    ab, ba = Tsdb(), Tsdb()
+    ab.absorb(shard0.to_dict(), shard="0")
+    ab.absorb(shard1.to_dict(), shard="1")
+    ba.absorb(shard1.to_dict(), shard="1")
+    ba.absorb(shard0.to_dict(), shard="0")
+    assert ab.to_dict() == ba.to_dict()
+    assert ab.scrape_times == [5, 10]
+    assert ab.get("req_total", shard="0").samples == [(10, 1.0)]
+    assert ab.get("req_total", shard="1").samples == [(5, 2.0)]
