@@ -60,6 +60,13 @@ def campaign(request):
 
 
 @pytest.fixture
+def quick(request):
+    """Whether this run is a ``--quick`` CI smoke (for experiments whose
+    smoke shape changes more than a single campaign size)."""
+    return request.config.getoption("--quick")
+
+
+@pytest.fixture
 def jobs(request):
     """The ``--jobs`` worker count for arm-parallel experiments."""
     return request.config.getoption("--jobs")

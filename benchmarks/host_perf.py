@@ -338,6 +338,34 @@ def measure_monitor_overhead(registrations: int = OVERHEAD_REGISTRATIONS) -> dic
     }
 
 
+def measure_attack_overhead(registrations: int = OVERHEAD_REGISTRATIONS) -> dict:
+    """Host-time cost of the quiescent attack plane on legit traffic.
+
+    Compares registrations on an untouched testbed against one carrying
+    the whole adversarial apparatus at rest: an armed-but-permissive
+    :class:`~repro.fivegc.admission.AdmissionController` (every arrival
+    checked, none shed — strictly more work than the disarmed ``None``
+    fast path) plus a provisioned :class:`~repro.security.attacks
+    .AttackPlane` executing no events.  Gates the admission hook added
+    to the AMF's NAS dispatch.
+    """
+    from repro.fivegc.admission import AdmissionConfig, AdmissionController
+    from repro.security.attacks import AttackPlane
+
+    def arm(tb) -> None:
+        tb.amf.admission = AdmissionController(AdmissionConfig())
+        AttackPlane(tb)
+
+    result = _paired_overhead(arm, registrations)
+    return {
+        "registrations": result["registrations"],
+        "trimmed_pairs": result["trimmed_pairs"],
+        "plane_none_wall_s": result["base_wall_s"],
+        "plane_quiescent_wall_s": result["armed_wall_s"],
+        "quiescent_overhead_percent": result["overhead_percent"],
+    }
+
+
 def measure_suite() -> dict:
     """Wall-clock of one full benchmark-suite run (the expensive bit)."""
     start = time.perf_counter()
@@ -441,6 +469,15 @@ def main(argv=None) -> int:
         help="measure armed-scraper monitoring overhead and exit non-zero "
         "if it exceeds this percentage (ISSUE 5 budget: 3)",
     )
+    parser.add_argument(
+        "--attack-gate",
+        type=float,
+        default=None,
+        metavar="PERCENT",
+        help="measure quiescent attack-plane/admission overhead on legit "
+        "registrations and exit non-zero if it exceeds this percentage "
+        "(ISSUE 8 budget: 2)",
+    )
     args = parser.parse_args(argv)
 
     block_batch = BLOCK_BATCH // 5 if args.quick else BLOCK_BATCH
@@ -469,6 +506,8 @@ def main(argv=None) -> int:
         run["tracer_overhead"] = measure_tracer_overhead()
     if args.monitor_gate is not None:
         run["monitor_overhead"] = measure_monitor_overhead()
+    if args.attack_gate is not None:
+        run["attack_overhead"] = measure_attack_overhead()
     if args.suite:
         run.update(measure_suite())
 
@@ -542,6 +581,15 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: armed-scraper monitoring overhead {overhead}% exceeds "
                 f"the --monitor-gate budget of {args.monitor_gate}%",
+                file=sys.stderr,
+            )
+            return 1
+    if args.attack_gate is not None:
+        overhead = run["attack_overhead"]["quiescent_overhead_percent"]
+        if overhead > args.attack_gate:
+            print(
+                f"FAIL: quiescent attack-plane overhead {overhead}% exceeds "
+                f"the --attack-gate budget of {args.attack_gate}%",
                 file=sys.stderr,
             )
             return 1

@@ -1,0 +1,33 @@
+"""E-ATTACK: survivability under adversarial signaling storms.
+
+Sweeps attack arrival rate × AMF admission-control configuration over
+identical warmed SGX slices and records the survivability curve per arm:
+legitimate success against a sojourn deadline, tail latency, EENTER burn
+in the enclave modules, admission shed counters and SLO alerts.  All
+outputs are simulated quantities, byte-identical per ``(seed, config)``.
+
+Under ``--quick`` the sweep shrinks to the CI smoke shape (two defenses,
+one storm rate, fewer legitimate UEs over a shorter horizon); the band
+checks still run but the results files are left untouched.
+"""
+
+from repro.experiments.survivability import survivability_experiment
+
+
+def test_bench_survivability(benchmark, quick, record_report):
+    kwargs = (
+        {
+            "legit": 8,
+            "horizon_s": 3.0,
+            "attack_rates": (0.0, 400.0),
+            "defenses": ("none", "all"),
+        }
+        if quick
+        else {}
+    )
+    report = benchmark.pedantic(
+        survivability_experiment, kwargs=kwargs, rounds=1, iterations=1
+    )
+    record_report(report)
+    print()
+    print(report.format())

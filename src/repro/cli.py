@@ -539,6 +539,43 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_attack(args: argparse.Namespace) -> int:
+    """Adversarial signaling campaign: storms × admission defenses (E-ATTACK)."""
+    from repro.experiments.export import report_to_json
+    from repro.experiments.survivability import DEFENSES, survivability_experiment
+
+    defenses = (
+        tuple(name.strip() for name in args.defenses.split(","))
+        if args.defenses
+        else DEFENSES
+    )
+    unknown = [name for name in defenses if name not in DEFENSES]
+    if unknown:
+        print(
+            f"unknown defense(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(DEFENSES)}",
+            file=sys.stderr,
+        )
+        return 2
+    rates = tuple(float(rate) for rate in args.rates.split(","))
+    report = survivability_experiment(
+        legit=args.legit,
+        horizon_s=args.horizon,
+        seed=args.seed,
+        attack_rates=rates,
+        defenses=defenses,
+    )
+    if args.json:
+        print(report_to_json(report))
+    else:
+        print(report.format())
+    if not report.all_checks_ok:
+        for check in report.failed_checks():
+            print("  FAILED " + check.format(), file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     report = _run_experiment(args.command, args)
     print(report.format())
@@ -697,6 +734,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the merged report as JSON (byte-identical per seed)",
     )
 
+    attack = sub.add_parser(
+        "attack",
+        help="adversarial signaling campaign: seeded storms (SUCI replay, "
+        "forged-AUTS resync, NAS fuzz, botnet registration) against the "
+        "AMF's admission defenses; prints survivability curves",
+    )
+    attack.add_argument(
+        "--legit", type=int, default=30,
+        help="legitimate UEs paced over the horizon per arm",
+    )
+    attack.add_argument(
+        "--horizon", type=float, default=12.0,
+        help="arm duration in simulated seconds",
+    )
+    attack.add_argument("--seed", type=int, default=29)
+    attack.add_argument(
+        "--rates", default="0,240,400", metavar="R,R,...",
+        help="attack arrival rates per second (comma-separated; 0 = "
+        "disarmed control arm)",
+    )
+    attack.add_argument(
+        "--defenses", default=None, metavar="D,D,...",
+        help="admission configs to sweep (subset of none,bucket,guard,"
+        "breaker,all; default all of them)",
+    )
+    attack.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON (byte-identical per seed)",
+    )
+
     for name, description in _EXPERIMENTS.items():
         experiment = sub.add_parser(name, help=description)
         experiment.add_argument("--registrations", type=int, default=60)
@@ -732,6 +799,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_profile(args)
         if args.command == "capacity":
             return _cmd_capacity(args)
+        if args.command == "attack":
+            return _cmd_attack(args)
         return _cmd_experiment(args)
     except BrokenPipeError:  # output piped into head/less and closed
         return 0

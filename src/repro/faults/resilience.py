@@ -20,7 +20,15 @@ from repro.net.http import DEFAULT_SBI_RETRY, RetryPolicy  # noqa: F401  (re-exp
 @dataclass
 class CircuitBreaker:
     """A per-peer breaker: closed → open after N consecutive transport
-    failures, half-open (single probe) after a cooldown."""
+    failures, half-open (single probe) after a cooldown.
+
+    Call-path contract: gate each call through :meth:`try_acquire` (which
+    claims the single half-open probe slot and books ``fast_failures``),
+    then report the result via :meth:`record_success` /
+    :meth:`record_failure`.  :meth:`allow` is a *pure* query — metrics
+    collection and speculative health checks may call it freely without
+    corrupting accounting or stealing the probe slot.
+    """
 
     name: str = ""
     failure_threshold: int = 3
@@ -28,6 +36,8 @@ class CircuitBreaker:
 
     consecutive_failures: int = 0
     opened_at_ns: Optional[int] = None
+    # While open, exactly one caller may hold the half-open probe slot.
+    probe_in_flight: bool = False
     # Accounting for the availability experiment.
     times_opened: int = 0
     fast_failures: int = 0
@@ -36,23 +46,52 @@ class CircuitBreaker:
     def open(self) -> bool:
         return self.opened_at_ns is not None
 
+    def _cooldown_elapsed(self, now_ns: int) -> bool:
+        assert self.opened_at_ns is not None
+        return now_ns - self.opened_at_ns >= int(self.cooldown_us * 1_000)
+
     def allow(self, now_ns: int) -> bool:
-        """May a call proceed at simulated time ``now_ns``?"""
+        """Would a call be admitted at simulated time ``now_ns``?
+
+        Pure query: no counters move and the probe slot is not claimed,
+        so passive observers never perturb the breaker state.
+        """
         if self.opened_at_ns is None:
             return True
-        if now_ns - self.opened_at_ns >= int(self.cooldown_us * 1_000):
-            return True  # half-open: let one probe through
+        if self.probe_in_flight:
+            return False
+        return self._cooldown_elapsed(now_ns)
+
+    def try_acquire(self, now_ns: int) -> bool:
+        """Admit one call at ``now_ns`` (the mutating call-path gate).
+
+        Closed: always admitted.  Open with the cooldown elapsed: the
+        *first* caller claims the half-open probe slot; every concurrent
+        caller fails fast until that probe reports back.  Open otherwise:
+        fail fast.
+        """
+        if self.opened_at_ns is None:
+            return True
+        if not self.probe_in_flight and self._cooldown_elapsed(now_ns):
+            self.probe_in_flight = True
+            return True
         self.fast_failures += 1
         return False
 
     def record_success(self) -> None:
         self.consecutive_failures = 0
         self.opened_at_ns = None
+        self.probe_in_flight = False
 
     def record_failure(self, now_ns: int) -> None:
+        was_probe = self.probe_in_flight
+        self.probe_in_flight = False
         self.consecutive_failures += 1
-        if self.consecutive_failures >= self.failure_threshold:
-            if self.opened_at_ns is None:
-                self.times_opened += 1
-            # (Re)start the cooldown — a failed half-open probe re-opens.
-            self.opened_at_ns = now_ns
+        if not was_probe and self.consecutive_failures < self.failure_threshold:
+            return
+        # Every transition into the open state counts — including a
+        # failed half-open probe re-opening after a cooldown (each is a
+        # distinct fail-fast episode in the E-AVAIL accounting).
+        if self.opened_at_ns is None or was_probe:
+            self.times_opened += 1
+        self.opened_at_ns = now_ns

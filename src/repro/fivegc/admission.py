@@ -1,0 +1,274 @@
+"""AMF-side admission control against hostile signaling load.
+
+The P-AKA modules shield AKA *secrets*, not AKA *capacity*: every
+registration attempt — legitimate or not — costs the enclave path real
+EENTER/EEXIT transitions and serialized control-plane work, so a
+signaling storm degrades legitimate UEs long before anything crashes.
+The :class:`AdmissionController` sits at the very front of the AMF's NAS
+dispatch and sheds registrations *before* any session state is created
+or any SBI/enclave call is issued, degrading to a cheap
+``AuthenticationReject`` (ROADMAP item 4; the same in-proxy token-bucket
+shape the Kamalbura set pairs with out-of-band analytics).
+
+Three independently armable defenses, evaluated in this order:
+
+1. **Overload breaker** — opens when the raw arrival rate over a sliding
+   window exceeds a threshold; while open, *initial* (SUCI) registrations
+   are shed and only GUTI re-registrations of known subscribers pass
+   (the TS 24.501 congestion-control shape: keep serving returning
+   subscribers, reject fresh attaches until the storm abates).
+2. **Per-gNB rate guards** — one token bucket per originating gNB, so a
+   botnet concentrated behind a few cells is clamped at its ingress
+   without touching the tracking area's legitimate gNBs.
+3. **Token-bucket admission** — per-source-identity buckets (bounding
+   what any single spoofed/replayed identity can spend) backed by a
+   global bucket that caps total admitted authentication work.
+
+Everything is simulated-clock arithmetic: no RNG draws, no clock
+advances, so a *disarmed* controller (``Amf.admission is None``) leaves
+golden clocks byte-identical and an *armed* one is deterministic for a
+given event timeline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+NS_PER_S = 1_000_000_000
+
+#: Registration kinds the controller distinguishes (TS 24.501 5GS
+#: registration types, collapsed to what matters for shedding).
+KIND_INITIAL = "initial"  # SUCI-carrying fresh attach
+KIND_RETURNING = "returning"  # GUTI re-registration of a known subscriber
+
+
+@dataclass
+class TokenBucket:
+    """A deterministic token bucket on the simulated clock.
+
+    Refill is computed lazily from the nanosecond timestamp of each
+    ``try_take`` — pure float arithmetic, no timers, no RNG.
+    """
+
+    rate_per_s: float
+    burst: float
+    tokens: float = -1.0  # sentinel: start full
+    last_ns: int = 0
+    taken: int = 0
+    denied: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate_per_s}")
+        if self.burst <= 0:
+            raise ValueError(f"burst must be positive, got {self.burst}")
+        if self.tokens < 0:
+            self.tokens = self.burst
+
+    def _refill(self, now_ns: int) -> None:
+        elapsed_ns = now_ns - self.last_ns
+        if elapsed_ns > 0:
+            self.tokens = min(
+                self.burst, self.tokens + self.rate_per_s * (elapsed_ns / NS_PER_S)
+            )
+        self.last_ns = now_ns
+
+    def try_take(self, now_ns: int, cost: float = 1.0) -> bool:
+        self._refill(now_ns)
+        if self.tokens >= cost:
+            self.tokens -= cost
+            self.taken += 1
+            return True
+        self.denied += 1
+        return False
+
+
+@dataclass
+class OverloadBreaker:
+    """Arrival-rate breaker: trips when more than ``max_arrivals`` NAS
+    registration arrivals land within ``window_s``; stays open for
+    ``cooldown_s`` and re-trips immediately under sustained storm (each
+    re-trip counted, mirroring :class:`repro.faults.CircuitBreaker`
+    accounting)."""
+
+    window_s: float = 1.0
+    max_arrivals: int = 30
+    cooldown_s: float = 2.0
+
+    opened_at_ns: Optional[int] = None
+    times_opened: int = 0
+    _arrivals: Deque[int] = field(default_factory=deque)
+
+    @property
+    def open(self) -> bool:
+        return self.opened_at_ns is not None
+
+    def observe(self, now_ns: int) -> bool:
+        """Record one arrival; return True while the breaker is open."""
+        if self.opened_at_ns is not None:
+            if now_ns - self.opened_at_ns < int(self.cooldown_s * NS_PER_S):
+                return True
+            # Cooldown over: close and start measuring afresh.
+            self.opened_at_ns = None
+            self._arrivals.clear()
+        window_ns = int(self.window_s * NS_PER_S)
+        arrivals = self._arrivals
+        arrivals.append(now_ns)
+        while arrivals and now_ns - arrivals[0] > window_ns:
+            arrivals.popleft()
+        if len(arrivals) > self.max_arrivals:
+            self.opened_at_ns = now_ns
+            self.times_opened += 1
+            arrivals.clear()
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Which defenses an :class:`AdmissionController` arms.
+
+    ``None`` fields leave that defense off; the all-``None`` config is
+    still *armed* (arrivals are counted) but admits everything — the
+    shape the host-perf overhead gate measures.
+    """
+
+    # Global token bucket over every admitted registration.
+    bucket_rate_per_s: Optional[float] = None
+    bucket_burst: float = 20.0
+    # Per-source-identity buckets (spoofed/replayed identity clamp).
+    per_source_rate_per_s: Optional[float] = None
+    per_source_burst: float = 2.0
+    per_source_cap: int = 4096  # bounded tracking state (FIFO eviction)
+    # Per-gNB rate guards.
+    gnb_rate_per_s: Optional[float] = None
+    gnb_burst: float = 6.0
+    # Overload breaker (shed initial attaches while open).
+    breaker_max_per_s: Optional[float] = None
+    breaker_window_s: float = 1.0
+    breaker_cooldown_s: float = 2.0
+
+
+class AdmissionController:
+    """Front-door gate for AMF registration arrivals.
+
+    ``check`` returns ``None`` to admit or a short denial cause string;
+    the AMF turns a denial into an ``AuthenticationReject`` without
+    creating session state or touching the enclave path.
+    """
+
+    def __init__(self, config: AdmissionConfig) -> None:
+        self.config = config
+        self.bucket = (
+            TokenBucket(config.bucket_rate_per_s, config.bucket_burst)
+            if config.bucket_rate_per_s is not None
+            else None
+        )
+        self.per_source: Optional[Dict[str, TokenBucket]] = (
+            {} if config.per_source_rate_per_s is not None else None
+        )
+        self.gnb_guards: Optional[Dict[str, TokenBucket]] = (
+            {} if config.gnb_rate_per_s is not None else None
+        )
+        self.breaker = (
+            OverloadBreaker(
+                window_s=config.breaker_window_s,
+                max_arrivals=max(
+                    1, int(config.breaker_max_per_s * config.breaker_window_s)
+                ),
+                cooldown_s=config.breaker_cooldown_s,
+            )
+            if config.breaker_max_per_s is not None
+            else None
+        )
+        # Accounting, exported through Amf.collect_metrics.
+        self.arrivals = 0
+        self.admitted = 0
+        self.shed_breaker = 0
+        self.shed_gnb = 0
+        self.shed_source = 0
+        self.shed_bucket = 0
+
+    @property
+    def shed_total(self) -> int:
+        return (
+            self.shed_breaker + self.shed_gnb + self.shed_source + self.shed_bucket
+        )
+
+    def check(
+        self,
+        now_ns: int,
+        source: str,
+        kind: str = KIND_INITIAL,
+        gnb: Optional[str] = None,
+    ) -> Optional[str]:
+        """Admit or deny one registration arrival at ``now_ns``."""
+        self.arrivals += 1
+
+        if self.breaker is not None and self.breaker.observe(now_ns):
+            # Congestion: returning subscribers (cheap to validate, the
+            # AMF already holds their GUTI mapping) keep flowing; fresh
+            # SUCI attaches — the only thing an attacker without a valid
+            # NAS context can send — are shed.
+            if kind != KIND_RETURNING:
+                self.shed_breaker += 1
+                return "congestion: overload shedding active"
+
+        if self.gnb_guards is not None and gnb is not None:
+            guard = self.gnb_guards.get(gnb)
+            if guard is None:
+                guard = self.gnb_guards[gnb] = TokenBucket(
+                    self.config.gnb_rate_per_s, self.config.gnb_burst
+                )
+                guard.last_ns = now_ns
+            if not guard.try_take(now_ns):
+                self.shed_gnb += 1
+                return f"congestion: rate guard for {gnb}"
+
+        if self.per_source is not None:
+            buckets = self.per_source
+            bucket = buckets.get(source)
+            if bucket is None:
+                if len(buckets) >= self.config.per_source_cap:
+                    # Bounded state: evict the oldest-tracked identity
+                    # (dict preserves insertion order — deterministic).
+                    buckets.pop(next(iter(buckets)))
+                bucket = buckets[source] = TokenBucket(
+                    self.config.per_source_rate_per_s, self.config.per_source_burst
+                )
+                bucket.last_ns = now_ns
+            if not bucket.try_take(now_ns):
+                self.shed_source += 1
+                return f"congestion: source {source} rate-limited"
+
+        if self.bucket is not None and not self.bucket.try_take(now_ns):
+            self.shed_bucket += 1
+            return "congestion: admission bucket empty"
+
+        self.admitted += 1
+        return None
+
+    # ------------------------------------------------------------- metrics
+
+    def collect_metrics(self, registry, nf: str) -> None:
+        labels = {"nf": nf}
+        registry.counter("amf_admission_arrivals_total", **labels).set(self.arrivals)
+        registry.counter("amf_admission_admitted_total", **labels).set(self.admitted)
+        for reason, count in (
+            ("breaker", self.shed_breaker),
+            ("gnb_guard", self.shed_gnb),
+            ("source", self.shed_source),
+            ("bucket", self.shed_bucket),
+        ):
+            registry.counter(
+                "amf_admission_shed_total", reason=reason, **labels
+            ).set(count)
+        if self.breaker is not None:
+            registry.gauge("amf_overload_breaker_open", **labels).set(
+                1.0 if self.breaker.open else 0.0
+            )
+            registry.counter("amf_overload_breaker_opens_total", **labels).set(
+                self.breaker.times_opened
+            )

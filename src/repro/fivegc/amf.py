@@ -37,6 +37,11 @@ from repro.fivegc.messages import (
     SecurityModeCommand,
     SecurityModeComplete,
 )
+from repro.fivegc.admission import (
+    KIND_INITIAL,
+    KIND_RETURNING,
+    AdmissionController,
+)
 from repro.fivegc.nas_security import (
     DOWNLINK,
     NasSecurityError,
@@ -59,6 +64,9 @@ _NAS_DECODE_CYCLES = 16_000
 _NAS_ENCODE_CYCLES = 14_000
 _HRES_CHECK_CYCLES = 9_500
 _GUTI_ALLOC_CYCLES = 6_000
+# Admission check + cheap reject encode when a registration is shed at
+# the front door (armed controllers only; disarmed AMFs never spend it).
+_ADMISSION_SHED_CYCLES = 4_000
 _ABBA = b"\x00\x00"
 
 
@@ -104,6 +112,16 @@ class Amf(NetworkFunction):
         self._sessions: Dict[str, _UeSession] = {}
         self._guti_to_supi: Dict[str, str] = {}
         self._guti_counter = 0
+        # Adversarial-load defenses (repro.fivegc.admission).  None —
+        # the default — keeps the pre-admission hot path: one attribute
+        # read per registration, zero simulated cost, golden clocks hold.
+        self.admission: Optional[AdmissionController] = None
+        # Bound on concurrent non-registered sessions (None = unbounded,
+        # the historical behaviour).  A SUCI flood that never answers its
+        # challenges would otherwise grow _sessions without limit; when
+        # the cap is hit the oldest pending session is evicted.
+        self.max_pending_sessions: Optional[int] = None
+        self.pending_evictions = 0
         super().__init__(*args, **kwargs)
 
     def attach_module(self, module: EamfPakaModule) -> None:
@@ -116,10 +134,28 @@ class Amf(NetworkFunction):
 
     # ---------------------------------------------------------------- NAS
 
-    def handle_nas(self, ue_id: str, message: NasMessage) -> NasMessage:
-        """N1 dispatch: one uplink NAS message in, one downlink out."""
+    def handle_nas(
+        self, ue_id: str, message: NasMessage, via: Optional[str] = None
+    ) -> NasMessage:
+        """N1 dispatch: one uplink NAS message in, one downlink out.
+
+        ``via`` names the originating gNB (for per-gNB rate guards);
+        ``None`` — the historical call shape — skips gNB attribution.
+        """
         self.runtime.compute(_NAS_DECODE_CYCLES)
         if isinstance(message, RegistrationRequest):
+            if self.admission is not None:
+                denial = self.admission.check(
+                    self.host.clock.now_ns,
+                    source=ue_id,
+                    kind=KIND_RETURNING if message.guti is not None else KIND_INITIAL,
+                    gnb=via,
+                )
+                if denial is not None:
+                    # Shed at the front door: no session state, no SBI
+                    # call, no enclave work — just a cheap reject.
+                    self.runtime.compute(_ADMISSION_SHED_CYCLES)
+                    return AuthenticationReject(cause=denial)
             return self._on_registration_request(ue_id, message)
         if isinstance(message, AuthenticationResponse):
             return self._on_authentication_response(ue_id, message)
@@ -142,6 +178,8 @@ class Amf(NetworkFunction):
     def _on_registration_request(
         self, ue_id: str, message: RegistrationRequest
     ) -> NasMessage:
+        if self.max_pending_sessions is not None:
+            self._evict_pending(budget=self.max_pending_sessions - 1)
         session = _UeSession(
             ue_id=ue_id, state=_SessionState.WAIT_AUTH_RESPONSE, snn=self.snn
         )
@@ -152,8 +190,7 @@ class Amf(NetworkFunction):
             # from the prior session — no SUCI/SIDF round needed.
             supi = self._guti_to_supi.get(message.guti)
             if supi is None:
-                session.state = _SessionState.FAILED
-                return AuthenticationReject(cause=f"unknown GUTI {message.guti!r}")
+                return self._fail(session, f"unknown GUTI {message.guti!r}")
             session.identity = {"supi": supi}
         else:
             session.identity = {"suci": message.suci}
@@ -171,12 +208,10 @@ class Amf(NetworkFunction):
         try:
             response = self.call(ausf, "POST", AUSF_UE_AUTH, payload)
         except JsonApiError as exc:  # transport failure / circuit open
-            session.state = _SessionState.FAILED
-            return AuthenticationReject(cause=str(exc))
+            return self._fail(session, str(exc))
         if not response.ok:
-            session.state = _SessionState.FAILED
-            return AuthenticationReject(
-                cause=f"AUSF refused authentication ({response.status})"
+            return self._fail(
+                session, f"AUSF refused authentication ({response.status})"
             )
         body = response.json()
         session.auth_ctx_id = str(body["authCtxId"])
@@ -196,8 +231,7 @@ class Amf(NetworkFunction):
         self.runtime.compute(_HRES_CHECK_CYCLES)
         hres_star = derive_hxres_star(session.rand, message.res_star)
         if hres_star != session.hxres_star:
-            session.state = _SessionState.FAILED
-            return AuthenticationReject(cause="HRES* mismatch at SEAF")
+            return self._fail(session, "HRES* mismatch at SEAF")
 
         # Confirm with the AUSF; on success it releases K_SEAF.  A dead
         # AUSF (or eAMF module, below) degrades into a reject for this
@@ -211,11 +245,9 @@ class Amf(NetworkFunction):
                 {"authCtxId": session.auth_ctx_id, "resStar": message.res_star.hex()},
             )
         except JsonApiError as exc:  # transport failure / circuit open
-            session.state = _SessionState.FAILED
-            return AuthenticationReject(cause=str(exc))
+            return self._fail(session, str(exc))
         if not response.ok or response.json().get("result") != "AUTHENTICATION_SUCCESS":
-            session.state = _SessionState.FAILED
-            return AuthenticationReject(cause="AUSF confirmation failed")
+            return self._fail(session, "AUSF confirmation failed")
         body = response.json()
         session.supi = str(body["supi"])
         kseaf = bytes.fromhex(body["kseaf"])
@@ -225,8 +257,7 @@ class Amf(NetworkFunction):
             try:
                 session.kamf = self._derive_kamf_offloaded(kseaf, session.supi)
             except JsonApiError as exc:
-                session.state = _SessionState.FAILED
-                return AuthenticationReject(cause=str(exc))
+                return self._fail(session, str(exc))
         else:
             self.runtime.compute(_KAMF_LOCAL_CYCLES)
             session.kamf = derive_kamf(kseaf, session.supi, _ABBA)
@@ -262,8 +293,7 @@ class Amf(NetworkFunction):
                     "auts": message.auts.hex(),
                 },
             )
-        session.state = _SessionState.FAILED
-        return AuthenticationReject(cause=f"UE reported {message.cause}")
+        return self._fail(session, f"UE reported {message.cause}")
 
     def _on_smc_complete(self, ue_id: str, message: SecurityModeComplete) -> NasMessage:
         session = self._require(ue_id, _SessionState.WAIT_SMC_COMPLETE)
@@ -272,8 +302,7 @@ class Amf(NetworkFunction):
         )
         session.uplink_count += 1
         if message.mac != expected:
-            session.state = _SessionState.FAILED
-            return AuthenticationReject(cause="SMC Complete MAC invalid")
+            return self._fail(session, "SMC Complete MAC invalid")
         self.runtime.compute(_GUTI_ALLOC_CYCLES)
         session.guti = self._allocate_guti()
         self._guti_to_supi[session.guti] = session.supi
@@ -298,8 +327,7 @@ class Amf(NetworkFunction):
         )
         session.uplink_count += 1
         if message.mac != expected:
-            session.state = _SessionState.FAILED
-            return AuthenticationReject(cause="Registration Complete MAC invalid")
+            return self._fail(session, "Registration Complete MAC invalid")
         session.state = _SessionState.REGISTERED
         # Post-registration NAS signalling travels ciphered over the
         # secure channel (128-NEA2 + 128-NIA2).
@@ -321,8 +349,7 @@ class Amf(NetworkFunction):
         try:
             inner = session.secure_channel.unprotect(pdu)
         except NasSecurityError as error:
-            session.state = _SessionState.FAILED
-            return AuthenticationReject(cause=f"NAS security failure: {error}")
+            return self._fail(session, f"NAS security failure: {error}")
         if isinstance(inner, PduSessionEstablishmentRequest):
             response = self._on_pdu_session_request(ue_id, inner)
             return session.secure_channel.protect(response)
@@ -368,6 +395,37 @@ class Amf(NetworkFunction):
 
     # ------------------------------------------------------------- helpers
 
+    def _fail(self, session: _UeSession, cause: str) -> AuthenticationReject:
+        """Terminate a NAS exchange: release the session context.
+
+        Failed sessions used to linger in ``_sessions`` forever (state
+        ``FAILED``), so a storm of failing registrations leaked one
+        ``_UeSession`` per spoofed identity.  The context — and any GUTI
+        it was issued — is released immediately; a later retry starts
+        from a clean ``RegistrationRequest``.
+        """
+        session.state = _SessionState.FAILED
+        if session.guti:
+            self._guti_to_supi.pop(session.guti, None)
+        self._sessions.pop(session.ue_id, None)
+        return AuthenticationReject(cause=cause)
+
+    def _evict_pending(self, budget: int) -> None:
+        """Drop oldest in-progress sessions until at most ``budget`` remain.
+
+        Registered sessions are never evicted; in-progress ones go in
+        insertion order (deterministic — dicts preserve it), which under
+        a SUCI flood means the stalest unanswered challenge dies first.
+        """
+        pending = [
+            ue_id
+            for ue_id, session in self._sessions.items()
+            if session.state is not _SessionState.REGISTERED
+        ]
+        for ue_id in pending[: max(0, len(pending) - budget)]:
+            self._sessions.pop(ue_id, None)
+            self.pending_evictions += 1
+
     def _require(self, ue_id: str, expected: _SessionState) -> _UeSession:
         session = self._sessions.get(ue_id)
         if session is None:
@@ -396,7 +454,35 @@ class Amf(NetworkFunction):
             raise JsonApiError(502, f"eAMF module error: {response.status}")
         return bytes.fromhex(response.json()["kamf"])
 
+    # ------------------------------------------------------------- metrics
+
+    def collect_metrics(self, registry) -> None:
+        super().collect_metrics(registry)
+        # Attack-plane defenses export only when armed, so the metric
+        # set (and every golden Tsdb series count) is unchanged for the
+        # default deployment.
+        if self.admission is not None:
+            self.admission.collect_metrics(registry, nf=self.name)
+        if self.max_pending_sessions is not None:
+            registry.counter(
+                "amf_pending_session_evictions_total", nf=self.name
+            ).set(self.pending_evictions)
+            registry.gauge("amf_sessions_pending", nf=self.name).set(
+                float(self.pending_count())
+            )
+
     # ----------------------------------------------------------- inspection
+
+    def pending_count(self) -> int:
+        """In-progress (non-registered) NAS sessions currently held."""
+        return sum(
+            1
+            for s in self._sessions.values()
+            if s.state is not _SessionState.REGISTERED
+        )
+
+    def session_count(self) -> int:
+        return len(self._sessions)
 
     def session_state(self, ue_id: str) -> str:
         session = self._sessions.get(ue_id)

@@ -168,7 +168,7 @@ class NetworkFunction:
             breaker = self.circuit_breakers[server.name] = CircuitBreaker(
                 name=f"{self.name}->{server.name}"
             )
-        if not breaker.allow(self.host.clock.now_ns):
+        if not breaker.try_acquire(self.host.clock.now_ns):
             raise JsonApiError(
                 503, f"{self.name}: circuit to {server.name} open"
             )
@@ -335,8 +335,9 @@ class NetworkFunction:
         self.client.collect_metrics(registry)
         for peer_name, breaker in sorted(self.circuit_breakers.items()):
             labels = {"nf": self.name, "peer": peer_name}
-            # Passive reads only: breaker.allow() would book a fast
-            # failure, and collection must never perturb the simulation.
+            # Passive reads only (allow() is pure; try_acquire() would
+            # book a fast failure or steal the half-open probe slot, and
+            # collection must never perturb the simulation).
             registry.gauge("circuit_breaker_open", **labels).set(
                 1.0 if breaker.open else 0.0
             )

@@ -101,8 +101,11 @@ class Scraper:
         cadence_s: float = 1.0,
         fault_injector: Optional[Any] = None,
         series_cap: Optional[int] = None,
+        attack_plane: Optional[Any] = None,
     ) -> "Scraper":
-        """Scraper over the whole testbed (plus optional fault injector).
+        """Scraper over the whole testbed (plus optional fault injector
+        and/or adversarial :class:`~repro.security.attacks.AttackPlane`,
+        whose per-kind outcome counters fold into the same registry).
 
         The scraper owns one *persistent* registry reused across scrapes:
         metric objects and their label keys are allocated on the first
@@ -118,9 +121,12 @@ class Scraper:
         registry = MetricsRegistry()
 
         def collect() -> MetricsRegistry:
-            return collect_testbed_metrics(
+            collect_testbed_metrics(
                 testbed, registry=registry, fault_injector=fault_injector
             )
+            if attack_plane is not None:
+                attack_plane.collect_metrics(registry)
+            return registry
 
         return cls(
             testbed.host.clock,

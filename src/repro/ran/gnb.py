@@ -77,9 +77,16 @@ class Gnb:
 
     # -------------------------------------------------------- registration
 
-    def register(self, ue: UserEquipment, establish_session: bool = True) -> RegistrationOutcome:
+    def register(
+        self,
+        ue: UserEquipment,
+        establish_session: bool = True,
+        initial: bool = True,
+    ) -> RegistrationOutcome:
         """Run the full registration (and optional PDU session) for ``ue``.
 
+        ``initial=False`` re-registers with the UE's held 5G-GUTI (the
+        SUCI/SIDF round is skipped; authentication still runs afresh).
         Returns the outcome including the end-to-end session setup time in
         simulated milliseconds.
         """
@@ -125,7 +132,11 @@ class Gnb:
                         f"gnb.{self.name}.rrc", self.airlink.rrc_setup_ms, 0.06
                     )
                 )
-                uplink: Optional[NasMessage] = ue.build_registration_request()
+                uplink: Optional[NasMessage] = (
+                    ue.build_registration_request()
+                    if initial
+                    else ue.build_guti_registration_request()
+                )
                 while uplink is not None and exchanges < self._MAX_NAS_ROUNDS:
                     nas_trace = (
                         tracer.begin(
@@ -136,7 +147,7 @@ class Gnb:
                     try:
                         self._air(uplink)
                         self._n2()
-                        downlink = amf.handle_nas(ue.name, uplink)
+                        downlink = amf.handle_nas(ue.name, uplink, via=self.name)
                         exchanges += 1
                         self._n2()
                         self._air(downlink)
@@ -159,7 +170,7 @@ class Gnb:
                         pdu_request = ue.build_pdu_session_request()
                         self._air(pdu_request)
                         self._n2()
-                        accept = amf.handle_nas(ue.name, pdu_request)
+                        accept = amf.handle_nas(ue.name, pdu_request, via=self.name)
                         exchanges += 1
                         self._n2()
                         self._air(accept)

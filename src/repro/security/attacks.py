@@ -307,3 +307,324 @@ class NetworkSniffAttack:
             notes=f"captured {len(frames)} frames; "
             + ("key material visible" if leaked else "all payloads TLS-protected"),
         )
+
+
+# --------------------------------------------------------------------------
+# Adversarial signaling traffic (ROADMAP item 4).
+#
+# Everything below models *hostile load* rather than key extraction: seeded
+# deterministic signaling storms aimed at the AMF's NAS front door and the
+# enclave-backed authentication path behind it.  The storm schedule is a
+# pure value of (seed, rate, horizon, profile) drawn from a private
+# ``random.Random`` — the testbed's namespaced RNG streams are never
+# touched by schedule generation, and the attack UE population provisions
+# through dedicated ``9…``/``8…`` MSIN prefixes whose streams are disjoint
+# from every legitimate subscriber's.  A testbed with no AttackPlane
+# attached executes zero attack code: golden clocks hold byte-for-byte.
+# --------------------------------------------------------------------------
+
+from enum import Enum
+from random import Random
+from typing import Tuple
+
+from repro.fivegc.amf import AmfError
+from repro.fivegc.messages import (
+    AuthenticationFailure,
+    AuthenticationReject,
+    AuthenticationRequest,
+    AuthenticationResponse,
+    RegistrationRequest,
+    SecurityModeComplete,
+)
+
+NS_PER_S = 1_000_000_000
+
+
+class StormKind(Enum):
+    """The four adversarial signaling workloads."""
+
+    SUCI_REPLAY = "suci-replay"  # captured SUCI replayed from spoofed ids
+    AUTS_RESYNC = "auts-resync"  # forged-AUTS synchronization-failure storm
+    NAS_FUZZ = "nas-fuzz"  # malformed NAS from a seeded RNG stream
+    BOTNET_REGISTER = "botnet-register"  # valid registrations, hostile volume
+
+
+#: Default traffic mix for a blended storm (weights need not sum to 1).
+DEFAULT_STORM_MIX: Dict[StormKind, float] = {
+    StormKind.SUCI_REPLAY: 0.35,
+    StormKind.AUTS_RESYNC: 0.2,
+    StormKind.NAS_FUZZ: 0.2,
+    StormKind.BOTNET_REGISTER: 0.25,
+}
+
+
+@dataclass(frozen=True)
+class StormProfile:
+    """Shape of one storm: traffic mix and source-population sizes."""
+
+    mix: Tuple[Tuple[StormKind, float], ...] = tuple(
+        sorted(DEFAULT_STORM_MIX.items(), key=lambda kv: kv[0].value)
+    )
+    spoof_pool: int = 64  # distinct spoofed identities replaying captures
+    attack_gnbs: int = 4  # hostile cells the traffic enters through
+    botnet_population: int = 32  # provisioned bots, cycled round-robin
+
+
+@dataclass(frozen=True)
+class AttackEvent:
+    """One scheduled hostile arrival (``at_ns`` relative to storm start)."""
+
+    at_ns: int
+    kind: StormKind
+    gnb: str
+    source: str
+    salt: int  # per-event seed for fuzz payload draws
+
+
+def generate_storm(
+    seed: int,
+    horizon_s: float,
+    rate_per_s: float,
+    profile: Optional[StormProfile] = None,
+) -> Tuple[AttackEvent, ...]:
+    """Poisson storm schedule: a pure value of its arguments.
+
+    Drawn from a private ``random.Random`` (the FaultPlan idiom), so
+    generating a schedule perturbs no testbed RNG stream; the same
+    arguments always yield byte-identical events.
+    """
+    profile = profile or StormProfile()
+    if rate_per_s <= 0:
+        return ()
+    rng = Random(f"storm:{seed}:{horizon_s}:{rate_per_s}")
+    horizon_ns = int(horizon_s * NS_PER_S)
+    kinds = [kind for kind, _ in profile.mix]
+    weights = [weight for _, weight in profile.mix]
+    total_weight = sum(weights)
+    events = []
+    t_ns = 0
+    bot_cursor = 0
+    while True:
+        t_ns += int(rng.expovariate(rate_per_s) * NS_PER_S)
+        if t_ns >= horizon_ns:
+            break
+        pick = rng.random() * total_weight
+        kind = kinds[-1]
+        for candidate, weight in zip(kinds, weights):
+            if pick < weight:
+                kind = candidate
+                break
+            pick -= weight
+        gnb = f"gnb-atk-{rng.randrange(profile.attack_gnbs)}"
+        if kind is StormKind.BOTNET_REGISTER:
+            source = f"bot-{bot_cursor % profile.botnet_population}"
+            bot_cursor += 1
+        else:
+            source = f"spoof-{rng.randrange(profile.spoof_pool)}"
+        events.append(
+            AttackEvent(
+                at_ns=t_ns,
+                kind=kind,
+                gnb=gnb,
+                source=source,
+                salt=rng.getrandbits(32),
+            )
+        )
+    return tuple(events)
+
+
+#: MSIN prefixes reserved for the attack plane.  Disjoint from the
+#: sequential ``0000000001…`` numbering of legitimate subscribers, so
+#: provisioning attack UEs draws only from ``sub.9…``/``sub.8…`` RNG
+#: streams and never perturbs a legitimate draw.
+VICTIM_MSIN = "9000000001"
+BOTNET_MSIN_PREFIX = "8"
+
+_N2_LATENCY_US = 140.0
+_MAX_NAS_ROUNDS = 12
+
+
+class AttackPlane:
+    """Executes storm events against a testbed's AMF over N2.
+
+    Hostile traffic enters at the N2 interface from dedicated attack
+    gNB identities (``gnb-atk-*``): the botnet burns *its own* cells'
+    radio resources, so only core-side costs (N2 transport + AMF/SBI/
+    enclave work) land on the shared simulated clock.  All randomness
+    comes from attack-only namespaced streams (``atk.*``) or per-event
+    private ``Random`` instances — a disarmed testbed's draws are
+    untouched.
+    """
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        profile: Optional[StormProfile] = None,
+    ) -> None:
+        self.testbed = testbed
+        self.profile = profile or StormProfile()
+        self.amf = testbed.amf
+        self.host = testbed.host
+        # Captured over-the-air SUCI of an attacker-observed victim: one
+        # valid concealed identity, replayed verbatim from spoofed ids.
+        victim = testbed.add_subscriber(msin=VICTIM_MSIN)
+        self.captured_suci_request = victim.build_registration_request()
+        # Botnet population: real provisioned subscribers under attacker
+        # control (volume is the weapon, not malformed content).
+        self.botnet = [
+            testbed.add_subscriber(msin=f"{BOTNET_MSIN_PREFIX}{i:09d}")
+            for i in range(self.profile.botnet_population)
+        ]
+        self.events_executed = 0
+        # outcome in {"pending", "completed", "rejected", "shed", "errored"}
+        self.outcomes: Dict[str, Dict[str, int]] = {
+            kind.value: {} for kind in StormKind
+        }
+
+    # ------------------------------------------------------------ plumbing
+
+    def _n2(self, gnb: str) -> None:
+        self.host.clock.advance_us(
+            self.host.rng.jitter(f"atk.{gnb}.n2", _N2_LATENCY_US, 0.05)
+        )
+
+    def _count(self, kind: StormKind, outcome: str) -> None:
+        bucket = self.outcomes[kind.value]
+        bucket[outcome] = bucket.get(outcome, 0) + 1
+
+    def _send(self, ue_id: str, message, gnb: str):
+        """One NAS round over N2; AmfError (malformed/out-of-order NAS
+        the AMF refuses to process) surfaces as ``None``."""
+        self._n2(gnb)
+        try:
+            reply = self.amf.handle_nas(ue_id, message, via=gnb)
+        except AmfError:
+            reply = None
+        self._n2(gnb)
+        return reply
+
+    @staticmethod
+    def _is_shed(reply) -> bool:
+        return isinstance(reply, AuthenticationReject) and reply.cause.startswith(
+            "congestion:"
+        )
+
+    # ------------------------------------------------------------- execute
+
+    def execute(self, event: AttackEvent) -> str:
+        """Run one storm event; returns the outcome label."""
+        handler = {
+            StormKind.SUCI_REPLAY: self._run_suci_replay,
+            StormKind.AUTS_RESYNC: self._run_auts_resync,
+            StormKind.NAS_FUZZ: self._run_nas_fuzz,
+            StormKind.BOTNET_REGISTER: self._run_botnet_register,
+        }[event.kind]
+        outcome = handler(event)
+        self.events_executed += 1
+        self._count(event.kind, outcome)
+        monitor = self.host.monitor
+        if monitor is not None:
+            monitor.tick()
+        return outcome
+
+    def _run_suci_replay(self, event: AttackEvent) -> str:
+        """Replay the captured SUCI: every accepted replay burns a full
+        authentication-vector generation in the eUDM enclave."""
+        reply = self._send(event.source, self.captured_suci_request, event.gnb)
+        if isinstance(reply, AuthenticationRequest):
+            return "pending"  # challenge ignored; session left dangling
+        if self._is_shed(reply):
+            return "shed"
+        return "rejected" if reply is not None else "errored"
+
+    def _run_auts_resync(self, event: AttackEvent) -> str:
+        """Forged-AUTS storm: answer the challenge with SYNCH_FAILURE and
+        attacker-chosen AUTS, forcing the home network through the
+        TS 33.102 §6.3.5 resync path (AUTS verification in the eUDM)."""
+        reply = self._send(event.source, self.captured_suci_request, event.gnb)
+        if self._is_shed(reply):
+            return "shed"
+        if not isinstance(reply, AuthenticationRequest):
+            return "rejected" if reply is not None else "errored"
+        forged_auts = Random(f"storm:auts:{event.salt}").randbytes(14)
+        reply = self._send(
+            event.source,
+            AuthenticationFailure(cause="SYNCH_FAILURE", auts=forged_auts),
+            event.gnb,
+        )
+        # The eUDM's MAC-S check fails, so the AMF rejects — but the
+        # resync round-trip (and its enclave entries) was already spent.
+        return "rejected" if reply is not None else "errored"
+
+    def _run_nas_fuzz(self, event: AttackEvent) -> str:
+        """Malformed-NAS fuzzing from a seeded RNG stream."""
+        rng = Random(f"storm:fuzz:{event.salt}")
+        variant = rng.randrange(6)
+        if variant == 0:  # truncated/garbled scheme output (valid hex)
+            message = RegistrationRequest(
+                suci={
+                    "mcc": "001",
+                    "mnc": "01",
+                    "scheme": 1,
+                    "keyId": 1,
+                    "schemeOutput": rng.randbytes(rng.randrange(1, 40)).hex(),
+                }
+            )
+        elif variant == 1:  # non-hex scheme output
+            message = RegistrationRequest(
+                suci={
+                    "mcc": "001",
+                    "mnc": "01",
+                    "scheme": 1,
+                    "keyId": 1,
+                    "schemeOutput": "zz-not-hex-" + str(rng.randrange(10**6)),
+                }
+            )
+        elif variant == 2:  # structurally broken SUCI object
+            message = RegistrationRequest(suci={"mcc": "001"})
+        elif variant == 3:  # unknown temporary identity
+            message = RegistrationRequest(
+                guti=f"5g-guti-00101-{rng.randrange(16**8):08x}-deadbeef"
+            )
+        elif variant == 4:  # out-of-context challenge response
+            message = AuthenticationResponse(res_star=rng.randbytes(16))
+        else:  # out-of-context security-mode complete
+            message = SecurityModeComplete(mac=rng.randbytes(4))
+        reply = self._send(event.source, message, event.gnb)
+        if self._is_shed(reply):
+            return "shed"
+        return "rejected" if reply is not None else "errored"
+
+    def _run_botnet_register(self, event: AttackEvent) -> str:
+        """One full (valid!) registration from the botnet population —
+        the DDoS weapon is volume through the enclave path, not content."""
+        bot = self.botnet[int(event.source.split("-")[1])]
+        uplink = bot.build_registration_request()
+        rounds = 0
+        while uplink is not None and rounds < _MAX_NAS_ROUNDS:
+            downlink = self._send(bot.name, uplink, event.gnb)
+            rounds += 1
+            if downlink is None:
+                return "errored"
+            if isinstance(downlink, AuthenticationReject):
+                return "shed" if self._is_shed(downlink) else "rejected"
+            uplink = bot.handle_nas(downlink)
+        return "completed" if bot.registered else "rejected"
+
+    # ------------------------------------------------------------- metrics
+
+    def collect_metrics(self, registry) -> None:
+        registry.counter("attack_events_total").set(self.events_executed)
+        for kind, outcomes in sorted(self.outcomes.items()):
+            for outcome, count in sorted(outcomes.items()):
+                registry.counter(
+                    "attack_outcomes_total", kind=kind, outcome=outcome
+                ).set(count)
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-kind outcome counts (stable key order for reports)."""
+        return {
+            kind: dict(sorted(outcomes.items()))
+            for kind, outcomes in sorted(self.outcomes.items())
+            if outcomes
+        }

@@ -12,32 +12,77 @@ def test_breaker_opens_after_threshold():
     for _ in range(2):
         breaker.record_failure(now)
         assert not breaker.open
-        assert breaker.allow(now)
+        assert breaker.try_acquire(now)
     breaker.record_failure(now)
     assert breaker.open
     assert breaker.times_opened == 1
-    assert not breaker.allow(now)
+    assert not breaker.try_acquire(now)
     assert breaker.fast_failures == 1
+
+
+def test_allow_is_a_pure_query():
+    """Speculative checks (metrics collection, health probes) must not
+    book fast failures or claim the half-open probe slot."""
+    breaker = CircuitBreaker(failure_threshold=1, cooldown_us=1_000.0)
+    breaker.record_failure(0)
+    for _ in range(5):
+        assert not breaker.allow(500 * US)
+    assert breaker.fast_failures == 0
+    # Past the cooldown allow() says a probe *would* be admitted, but the
+    # slot is only claimed by try_acquire().
+    for _ in range(5):
+        assert breaker.allow(1_000 * US)
+    assert not breaker.probe_in_flight
+    assert breaker.fast_failures == 0
 
 
 def test_breaker_half_open_probe_closes_on_success():
     breaker = CircuitBreaker(failure_threshold=1, cooldown_us=1_000.0)
     breaker.record_failure(0)
-    assert not breaker.allow(500 * US)  # still cooling down
-    assert breaker.allow(1_000 * US)  # half-open: single probe allowed
+    assert not breaker.try_acquire(500 * US)  # still cooling down
+    assert breaker.try_acquire(1_000 * US)  # half-open: single probe allowed
     breaker.record_success()
     assert not breaker.open
-    assert breaker.allow(1_001 * US)
+    assert breaker.try_acquire(1_001 * US)
 
 
-def test_breaker_failed_probe_reopens():
+def test_breaker_failed_probe_reopens_and_counts():
     breaker = CircuitBreaker(failure_threshold=1, cooldown_us=1_000.0)
     breaker.record_failure(0)
-    assert breaker.allow(1_000 * US)
+    assert breaker.try_acquire(1_000 * US)
     breaker.record_failure(1_000 * US)
     assert breaker.open
-    assert breaker.times_opened == 1  # same outage, not a new open
-    assert not breaker.allow(1_500 * US)  # cooldown restarted
+    # A failed probe is a new transition into the open state: E-AVAIL
+    # counts each fail-fast episode, not just the first.
+    assert breaker.times_opened == 2
+    assert not breaker.try_acquire(1_500 * US)  # cooldown restarted
+
+
+def test_single_probe_at_cooldown_boundary():
+    """Regression: a storm of queued callers arriving the instant the
+    cooldown expires must not flood the dead peer — exactly one caller
+    wins the half-open probe, the rest fail fast."""
+    breaker = CircuitBreaker(failure_threshold=1, cooldown_us=1_000.0)
+    breaker.record_failure(0)
+    boundary = 1_000 * US
+    admitted = [breaker.try_acquire(boundary) for _ in range(10)]
+    assert admitted.count(True) == 1
+    assert admitted[0] is True  # first caller holds the probe slot
+    assert breaker.fast_failures == 9
+    # While the probe is in flight even later callers are shed.
+    assert not breaker.try_acquire(boundary + 500 * US)
+    assert breaker.fast_failures == 10
+
+    # Probe fails: re-open (counted), cooldown restarts, then the next
+    # boundary again admits exactly one of the concurrent callers.
+    breaker.record_failure(boundary)
+    assert breaker.times_opened == 2
+    next_boundary = boundary + 1_000 * US
+    admitted = [breaker.try_acquire(next_boundary) for _ in range(4)]
+    assert admitted.count(True) == 1
+    # Probe succeeds: breaker closes and everyone is admitted again.
+    breaker.record_success()
+    assert all(breaker.try_acquire(next_boundary + 1) for _ in range(4))
 
 
 def test_success_resets_failure_streak():
