@@ -366,6 +366,34 @@ def measure_attack_overhead(registrations: int = OVERHEAD_REGISTRATIONS) -> dict
     }
 
 
+def measure_detect_overhead(registrations: int = OVERHEAD_REGISTRATIONS) -> dict:
+    """Host-time cost of the full armed-but-quiet detection loop.
+
+    Compares registrations on an untouched testbed against one carrying
+    the whole PR 9 closed loop at rest: an installed 1 s-cadence
+    :class:`~repro.obs.scrape.Scraper` with a subscribed
+    :class:`~repro.obs.detect.AdmissionGovernor` classifying every
+    scrape over quiet legitimate traffic.  The governor never arms (no
+    storm, no burn), so this gates the price of *watching*: scrape hooks
+    plus per-scrape verdicts on the live Tsdb.
+    """
+    from repro.obs.detect import AdmissionGovernor, AttackClassifier
+    from repro.obs.scrape import Scraper
+
+    def arm(tb) -> None:
+        scraper = Scraper.for_testbed(tb, cadence_s=1.0).install(tb.host)
+        scraper.subscribe(AdmissionGovernor(tb.amf, AttackClassifier()))
+
+    result = _paired_overhead(arm, registrations)
+    return {
+        "registrations": result["registrations"],
+        "trimmed_pairs": result["trimmed_pairs"],
+        "detect_none_wall_s": result["base_wall_s"],
+        "detect_armed_wall_s": result["armed_wall_s"],
+        "armed_quiet_overhead_percent": result["overhead_percent"],
+    }
+
+
 def measure_suite() -> dict:
     """Wall-clock of one full benchmark-suite run (the expensive bit)."""
     start = time.perf_counter()
@@ -478,6 +506,15 @@ def main(argv=None) -> int:
         "registrations and exit non-zero if it exceeds this percentage "
         "(ISSUE 8 budget: 2)",
     )
+    parser.add_argument(
+        "--detect-gate",
+        type=float,
+        default=None,
+        metavar="PERCENT",
+        help="measure the armed-but-quiet detection loop (scraper + "
+        "classifying governor, no storm) and exit non-zero if it exceeds "
+        "this percentage (ISSUE 9 budget: 2)",
+    )
     args = parser.parse_args(argv)
 
     block_batch = BLOCK_BATCH // 5 if args.quick else BLOCK_BATCH
@@ -508,6 +545,8 @@ def main(argv=None) -> int:
         run["monitor_overhead"] = measure_monitor_overhead()
     if args.attack_gate is not None:
         run["attack_overhead"] = measure_attack_overhead()
+    if args.detect_gate is not None:
+        run["detect_overhead"] = measure_detect_overhead()
     if args.suite:
         run.update(measure_suite())
 
@@ -590,6 +629,15 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: quiescent attack-plane overhead {overhead}% exceeds "
                 f"the --attack-gate budget of {args.attack_gate}%",
+                file=sys.stderr,
+            )
+            return 1
+    if args.detect_gate is not None:
+        overhead = run["detect_overhead"]["armed_quiet_overhead_percent"]
+        if overhead > args.detect_gate:
+            print(
+                f"FAIL: armed-but-quiet detection overhead {overhead}% "
+                f"exceeds the --detect-gate budget of {args.detect_gate}%",
                 file=sys.stderr,
             )
             return 1

@@ -539,16 +539,92 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _attack_govern_selftest() -> int:
+    """Detector/governor self-check used by CI.
+
+    Replays the seeded-storm detector evaluation (ground-truth confusion
+    matrix over every attack class plus a pure queueing collapse), then a
+    quick governed survivability pair, and asserts the headline claims:
+    the undefended collapse pages on the sojourn SLO, the governor arms
+    and recovers legitimate success, and a quiescent governor never acts.
+    The JSON document on stdout is deterministic — CI runs the command
+    twice and ``cmp``s the bytes; status lines go to stderr.
+    """
+    import json
+
+    from repro.experiments.survivability import _run_arm
+    from repro.obs.detect import evaluate_detector
+
+    failures = []
+    evaluation = evaluate_detector(
+        seed=29, horizon_s=4.0, legit=6, attack_rate_per_s=40.0
+    )
+    for scenario in evaluation["scenarios"]:
+        if scenario["modal_verdict"] != scenario["expected"]:
+            failures.append(
+                f"{scenario['expected']}: modal verdict "
+                f"{scenario['modal_verdict']}"
+            )
+    if evaluation["accuracy"] < 0.8:
+        failures.append(f"accuracy {evaluation['accuracy']:.3f} < 0.8")
+
+    kwargs = dict(legit=12, horizon_s=5.0, seed=29)
+    undefended = _run_arm("none", 400.0, **kwargs)
+    governed = _run_arm("governed", 400.0, **kwargs)
+    quiescent = _run_arm("governed", 0.0, **kwargs)
+    if undefended["sojourn_alerts_fired"] < 1:
+        failures.append("undefended collapse fired no sojourn SLO alert")
+    actions = governed["governor"]["actions"]
+    if not actions or actions[0]["action"] != "arm":
+        failures.append("governor never armed under the peak storm")
+    if governed["legit_success_rate"] <= undefended["legit_success_rate"]:
+        failures.append(
+            f"governed success {governed['legit_success_rate']:.3f} did "
+            f"not beat undefended {undefended['legit_success_rate']:.3f}"
+        )
+    if quiescent["governor"]["actions"]:
+        failures.append("quiescent governor took actions with no storm")
+
+    payload = {
+        "evaluation": evaluation,
+        "governed": {
+            "actions": actions,
+            "detect_latency_s": governed["detect_latency_s"],
+            "legit_success_rate": governed["legit_success_rate"],
+            "quiescent_actions": quiescent["governor"]["actions"],
+            "sojourn_alerts_fired": governed["sojourn_alerts_fired"],
+            "undefended_success_rate": undefended["legit_success_rate"],
+        },
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if failures:
+        for failure in failures:
+            print(f"govern selftest FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"govern selftest OK (accuracy {evaluation['accuracy']:.2f}, "
+        f"detect latency {governed['detect_latency_s']:.3f}s, governed "
+        f"{governed['legit_success_rate']:.2f} vs undefended "
+        f"{undefended['legit_success_rate']:.2f})",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_attack(args: argparse.Namespace) -> int:
     """Adversarial signaling campaign: storms × admission defenses (E-ATTACK)."""
+    if args.selftest:
+        return _attack_govern_selftest()
+
     from repro.experiments.export import report_to_json
     from repro.experiments.survivability import DEFENSES, survivability_experiment
 
-    defenses = (
-        tuple(name.strip() for name in args.defenses.split(","))
-        if args.defenses
-        else DEFENSES
-    )
+    if args.defenses:
+        defenses = tuple(name.strip() for name in args.defenses.split(","))
+    elif args.govern:
+        defenses = ("none", "governed")
+    else:
+        defenses = DEFENSES
     unknown = [name for name in defenses if name not in DEFENSES]
     if unknown:
         print(
@@ -757,7 +833,17 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument(
         "--defenses", default=None, metavar="D,D,...",
         help="admission configs to sweep (subset of none,bucket,guard,"
-        "breaker,all; default all of them)",
+        "breaker,all,governed; default all of them)",
+    )
+    attack.add_argument(
+        "--govern", action="store_true",
+        help="sweep only the undefended and alert-armed (governed) arms",
+    )
+    attack.add_argument(
+        "--selftest", action="store_true",
+        help="detector/governor self-check: seeded-storm confusion "
+        "matrix + governed recovery, deterministic JSON on stdout "
+        "(used by CI)",
     )
     attack.add_argument(
         "--json", action="store_true",

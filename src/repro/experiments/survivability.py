@@ -27,8 +27,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.experiments.harness import BandCheck, ExperimentReport, warmed_testbed
 from repro.experiments.stats import percentiles, summarize
 from repro.fivegc.admission import AdmissionConfig, AdmissionController
+from repro.obs.detect import AdmissionGovernor, AttackClassifier
 from repro.obs.scrape import Scraper
-from repro.obs.slo import SloEngine, default_slos
+from repro.obs.slo import SloEngine, SojournSlo, default_slos
 from repro.paka.deploy import IsolationMode
 from repro.security.attacks import AttackPlane, generate_storm
 
@@ -73,6 +74,10 @@ def _defense_configs() -> Dict[str, Tuple[Optional[AdmissionConfig], Optional[in
         "guard": (AdmissionConfig(**guard), None),
         "breaker": (AdmissionConfig(**breaker), None),
         "all": (AdmissionConfig(**bucket, **guard, **breaker), 512),
+        # Closed loop: starts with *nothing* armed; the AdmissionGovernor
+        # (repro.obs.detect) arms and tunes defenses at runtime from the
+        # classifier's verdicts and the sojourn SLO's burn.
+        "governed": (None, None),
     }
 
 
@@ -163,6 +168,20 @@ def _run_arm(
     scraper = Scraper.for_testbed(
         testbed, cadence_s=1.0, attack_plane=plane
     ).install(testbed.host)
+    governor: Optional[AdmissionGovernor] = None
+    if defense == "governed":
+        # The closed loop: classifier verdicts + sojourn burn arm the
+        # admission config at runtime.  Subscribed after the baseline
+        # scrape, so the governor sees exactly the cadence-grid samples.
+        governor = AdmissionGovernor(
+            testbed.amf,
+            AttackClassifier(),
+            slos=[
+                slo for slo in default_slos(testbed)
+                if isinstance(slo, SojournSlo)
+            ],
+        )
+        scraper.subscribe(governor)
     clock = testbed.host.clock
     start_ns = clock.now_ns
     lt_baseline = _module_lt_baseline(testbed)
@@ -170,7 +189,12 @@ def _run_arm(
 
     legit_ok = 0
     legit_registered = 0
-    sojourns_ms: List[float] = []
+    # Sojourns are read back from the gNB's own histogram series — the
+    # same numbers the scraper ingests and the SojournSlo alerts on, so
+    # the campaign's deadline accounting and the alerting path are
+    # provably identical (the PR 8 blind spot: a private list here that
+    # never reached the Tsdb).
+    sojourn_base = len(testbed.gnb.sojourn_ms)
     deadline_ns = int(deadline_ms * 1e6)
     for at_ns, _, payload in timeline:
         target_ns = start_ns + at_ns
@@ -180,17 +204,25 @@ def _run_arm(
         if isinstance(payload, int):
             ue = ues[payload]
             outcome = testbed.gnb.register(
-                ue, establish_session=False, initial=initial[payload]
+                ue, establish_session=False, initial=initial[payload],
+                arrival_ns=target_ns,
             )
             sojourn_ns = clock.now_ns - target_ns
-            sojourns_ms.append(sojourn_ns / 1e6)
             legit_registered += 1 if outcome.success else 0
             legit_ok += 1 if outcome.success and sojourn_ns <= deadline_ns else 0
         else:
             plane.execute(payload)
 
     scraper.uninstall(testbed.host)
-    alerts = SloEngine(default_slos(testbed)).evaluate(scraper.tsdb)
+    sojourns_ms = list(testbed.gnb.sojourn_ms[sojourn_base:])
+    alerts = SloEngine(
+        default_slos(
+            testbed, expected_registration_rate_per_s=legit / horizon_s
+        )
+    ).evaluate(scraper.tsdb)
+    sojourn_alerts = [
+        alert for alert in alerts if alert.slo.startswith("registration-sojourn")
+    ]
 
     p50, p95, p99 = percentiles(sojourns_ms, (50, 95, 99))
     lt_samples = _module_lt_new_samples(testbed, lt_baseline)
@@ -225,8 +257,21 @@ def _run_arm(
         "pending_evictions": testbed.amf.pending_evictions,
         "pending_sessions": testbed.amf.pending_count(),
         "alerts_fired": len(alerts),
+        "sojourn_alerts_fired": len(sojourn_alerts),
+        "first_sojourn_alert_s": (
+            round((sojourn_alerts[0].fired_at_ns - start_ns) / NS_PER_S, 6)
+            if sojourn_alerts
+            else None
+        ),
         "final_clock_ns": clock.now_ns,
     }
+    if governor is not None:
+        detail = governor.to_dict(base_ns=start_ns)
+        arms = [a for a in detail["actions"] if a["action"] == "arm"]
+        row["governor"] = detail
+        # Detection latency: storm start (t=0 on this timeline) to the
+        # first arming action; None when the governor never armed.
+        row["detect_latency_s"] = arms[0]["at_s"] if arms else None
     row["_sojourns_ms"] = sojourns_ms  # stripped before the report
     return row
 
@@ -281,6 +326,23 @@ def survivability_experiment(
             low=0.0, high=0.6,
         )
     )
+    # The PR 8 blind spot, closed: the pure-queueing collapse that fired
+    # zero alerts must now page on the sojourn SLO inside the window.
+    report.checks.append(
+        BandCheck(
+            name="sojourn SLO pages on the undefended collapse",
+            measured=float(undefended["sojourn_alerts_fired"]),
+            low=1.0, high=1e9,
+        )
+    )
+    if "governed" in defenses:
+        report.checks.append(
+            BandCheck(
+                name="governed arm recovers legit success at peak storm",
+                measured=float(rows[("governed", peak)]["legit_success_rate"]),
+                low=0.75, high=1.0,
+            )
+        )
     for defense in defenses:
         if defense == "none":
             continue
@@ -311,10 +373,13 @@ def survivability_experiment(
         )
     report.notes = (
         f"seed={seed}; deadline={DEFAULT_DEADLINE_MS:g}ms sojourn from the "
-        f"scheduled slot; legit mix 3:1 GUTI re-registration vs SUCI attach; "
-        "storm mix suci-replay/auts-resync/nas-fuzz/botnet-register; the "
-        "breaker arms cap at the returning-subscriber share by design "
-        "(initial attaches are shed while open, per TS 24.501 congestion "
-        "control)"
+        f"scheduled slot (read back from the gnb_registration_sojourn_ms "
+        f"histogram the SLO engine alerts on); legit mix 3:1 GUTI "
+        "re-registration vs SUCI attach; storm mix suci-replay/auts-resync/"
+        "nas-fuzz/botnet-register; the breaker arms cap at the "
+        "returning-subscriber share by design (initial attaches are shed "
+        "while open, per TS 24.501 congestion control); the governed arm "
+        "starts disarmed and lets the AdmissionGovernor arm/tune defenses "
+        "from classifier verdicts + sojourn burn"
     )
     return report

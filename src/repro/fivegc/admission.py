@@ -7,8 +7,10 @@ signaling storm degrades legitimate UEs long before anything crashes.
 The :class:`AdmissionController` sits at the very front of the AMF's NAS
 dispatch and sheds registrations *before* any session state is created
 or any SBI/enclave call is issued, degrading to a cheap
-``AuthenticationReject`` (ROADMAP item 4; the same in-proxy token-bucket
-shape the Kamalbura set pairs with out-of-band analytics).
+``AuthenticationReject`` (ROADMAP item 4; the per-source, runtime-tunable
+policy shape that 5G-WAVE's per-slice authorization argues for —
+PAPERS.md — with :mod:`repro.obs.detect` supplying the analytics that
+tune it).
 
 Three independently armable defenses, evaluated in this order:
 

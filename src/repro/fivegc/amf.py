@@ -101,6 +101,7 @@ class _UeSession:
     resync_attempted: bool = False
     secure_channel: Optional[SecureNasChannel] = None
     detail: Dict[str, float] = field(default_factory=dict)
+    via: str = "direct"  # originating gNB, for per-cell accept accounting
 
 
 class Amf(NetworkFunction):
@@ -122,6 +123,15 @@ class Amf(NetworkFunction):
         # the cap is hit the oldest pending session is evicted.
         self.max_pending_sessions: Optional[int] = None
         self.pending_evictions = 0
+        # Defender-side detection signals (ROADMAP item 4): per-gNB
+        # registration arrivals/accepts, AUTS resync requests, and NAS
+        # protocol errors.  Always-on plain-int bookkeeping — no clock,
+        # no RNG — so the attack classifier can read arrival skew and
+        # signature rates even on an AMF whose defenses are disarmed.
+        self.nas_arrivals: Dict[str, int] = {}
+        self.nas_accepted: Dict[str, int] = {}
+        self.auth_resyncs = 0
+        self.nas_protocol_errors = 0
         super().__init__(*args, **kwargs)
 
     def attach_module(self, module: EamfPakaModule) -> None:
@@ -142,8 +152,23 @@ class Amf(NetworkFunction):
         ``via`` names the originating gNB (for per-gNB rate guards);
         ``None`` — the historical call shape — skips gNB attribution.
         """
+        try:
+            return self._dispatch_nas(ue_id, message, via)
+        except AmfError:
+            # Out-of-context / malformed NAS: the fuzz-storm signature.
+            self.nas_protocol_errors += 1
+            raise
+
+    def _dispatch_nas(
+        self, ue_id: str, message: NasMessage, via: Optional[str]
+    ) -> NasMessage:
         self.runtime.compute(_NAS_DECODE_CYCLES)
         if isinstance(message, RegistrationRequest):
+            cell = via or "direct"
+            # Arrival is counted *before* admission, so detection keeps
+            # seeing the storm while the defenses shed it (hysteresis
+            # would otherwise flap: shed -> signal gone -> stand down).
+            self.nas_arrivals[cell] = self.nas_arrivals.get(cell, 0) + 1
             if self.admission is not None:
                 denial = self.admission.check(
                     self.host.clock.now_ns,
@@ -156,7 +181,7 @@ class Amf(NetworkFunction):
                     # call, no enclave work — just a cheap reject.
                     self.runtime.compute(_ADMISSION_SHED_CYCLES)
                     return AuthenticationReject(cause=denial)
-            return self._on_registration_request(ue_id, message)
+            return self._on_registration_request(ue_id, message, via=cell)
         if isinstance(message, AuthenticationResponse):
             return self._on_authentication_response(ue_id, message)
         if isinstance(message, AuthenticationFailure):
@@ -176,12 +201,13 @@ class Amf(NetworkFunction):
     # --------------------------------------------------------- state steps
 
     def _on_registration_request(
-        self, ue_id: str, message: RegistrationRequest
+        self, ue_id: str, message: RegistrationRequest, via: str = "direct"
     ) -> NasMessage:
         if self.max_pending_sessions is not None:
             self._evict_pending(budget=self.max_pending_sessions - 1)
         session = _UeSession(
-            ue_id=ue_id, state=_SessionState.WAIT_AUTH_RESPONSE, snn=self.snn
+            ue_id=ue_id, state=_SessionState.WAIT_AUTH_RESPONSE, snn=self.snn,
+            via=via,
         )
         self._sessions[ue_id] = session
 
@@ -286,6 +312,7 @@ class Amf(NetworkFunction):
             # verifies it (inside the eUDM enclave when offloaded), resets
             # the SQN and issues a fresh challenge.
             session.resync_attempted = True
+            self.auth_resyncs += 1
             return self._authenticate(
                 session,
                 resync_info={
@@ -329,6 +356,7 @@ class Amf(NetworkFunction):
         if message.mac != expected:
             return self._fail(session, "Registration Complete MAC invalid")
         session.state = _SessionState.REGISTERED
+        self.nas_accepted[session.via] = self.nas_accepted.get(session.via, 0) + 1
         # Post-registration NAS signalling travels ciphered over the
         # secure channel (128-NEA2 + 128-NIA2).
         session.secure_channel = SecureNasChannel(
@@ -458,6 +486,25 @@ class Amf(NetworkFunction):
 
     def collect_metrics(self, registry) -> None:
         super().collect_metrics(registry)
+        # Detection signals are always exported: the classifier must see
+        # arrival skew and signature rates whether or not any defense is
+        # armed (detection precedes the decision to arm one).  Sorted
+        # iteration keeps the export order — and the scraped Tsdb —
+        # deterministic regardless of arrival order.
+        for cell in sorted(self.nas_arrivals):
+            registry.counter(
+                "amf_nas_registration_arrivals_total", nf=self.name, gnb=cell
+            ).set(self.nas_arrivals[cell])
+        for cell in sorted(self.nas_accepted):
+            registry.counter(
+                "amf_nas_registration_accepted_total", nf=self.name, gnb=cell
+            ).set(self.nas_accepted[cell])
+        registry.counter("amf_auth_resync_requests_total", nf=self.name).set(
+            self.auth_resyncs
+        )
+        registry.counter("amf_nas_protocol_errors_total", nf=self.name).set(
+            self.nas_protocol_errors
+        )
         # Attack-plane defenses export only when armed, so the metric
         # set (and every golden Tsdb series count) is unchanged for the
         # default deployment.

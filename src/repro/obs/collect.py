@@ -77,13 +77,23 @@ def collect_testbed_metrics(
             if stats is not None:
                 collect_sgx_stats(registry, stats, component=name)
 
-    gnb = testbed.gnb
-    registry.counter("gnb_registrations_attempted_total", gnb=gnb.name).set(
-        gnb.registrations_attempted
-    )
-    registry.counter("gnb_registrations_succeeded_total", gnb=gnb.name).set(
-        gnb.registrations_succeeded
-    )
+    # Every gNB, not just the first: a sharded testbed fans registrations
+    # over ``testbed.gnbs`` and an attack campaign adds hostile cells —
+    # all of their streams must reach the Tsdb or the SLO engine is
+    # blind to whole tracking areas (ROADMAP item 4).
+    gnbs = getattr(testbed, "gnbs", None) or [testbed.gnb]
+    for gnb in gnbs:
+        registry.counter("gnb_registrations_attempted_total", gnb=gnb.name).set(
+            gnb.registrations_attempted
+        )
+        registry.counter("gnb_registrations_succeeded_total", gnb=gnb.name).set(
+            gnb.registrations_succeeded
+        )
+        # Adopt the live sojourn series: count/sum reach the Tsdb as
+        # histogram component counters so windowed means are O(1).
+        registry.histogram_from_series(
+            "gnb_registration_sojourn_ms", gnb.sojourn_ms, gnb=gnb.name
+        )
 
     host = testbed.host
     registry.counter("sim_clock_ns_total", host=host.name).set(host.clock.now_ns)

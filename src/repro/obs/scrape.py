@@ -30,7 +30,7 @@ class Scraper:
     """Samples a registry producer on a simulated-time cadence."""
 
     __slots__ = ("clock", "collect", "tsdb", "cadence_ns", "enabled",
-                 "scrapes", "_base_ns", "_next_ns")
+                 "scrapes", "observers", "_base_ns", "_next_ns")
 
     def __init__(
         self,
@@ -49,6 +49,12 @@ class Scraper:
         self.cadence_ns = cadence_ns
         self.enabled = True
         self.scrapes = 0
+        # On-line consumers of the freshly ingested Tsdb (e.g. the
+        # :class:`repro.obs.detect.AdmissionGovernor`).  Observers run
+        # after each ingest with the same timestamp; they must be pure
+        # readers of simulated time — the golden-clock contract extends
+        # to them.
+        self.observers: list = []
         # Deadlines live on a grid anchored at install time, so the
         # sample *schedule* is a pure function of (anchor, cadence) even
         # though actual sample timestamps are the sim times of the
@@ -70,10 +76,18 @@ class Scraper:
         if host.monitor is self:
             host.monitor = None
 
+    def subscribe(self, observer: Any) -> "Scraper":
+        """Register an ``on_scrape(tsdb, now_ns)`` observer."""
+        self.observers.append(observer)
+        return self
+
     def scrape(self) -> None:
         """Take one sample now, regardless of the cadence grid."""
-        self.tsdb.ingest(self.collect(), self.clock.now_ns)
+        now_ns = self.clock.now_ns
+        self.tsdb.ingest(self.collect(), now_ns)
         self.scrapes += 1
+        for observer in self.observers:
+            observer.on_scrape(self.tsdb, now_ns)
 
     def tick(self) -> None:
         """Sample iff simulated time crossed the next grid deadline.

@@ -58,6 +58,25 @@ LATENCY_WINDOWS: Tuple[BurnRateWindow, ...] = (
     BurnRateWindow("fast", long_s=30.0, short_s=10.0, factor=1.5),
     BurnRateWindow("slow", long_s=90.0, short_s=30.0, factor=1.0),
 )
+#: Sojourn windows are tight because storms are short: the survivability
+#: campaign's attack window is ~12 s, so a 60 s long window would never
+#: confirm inside it.  Burn 1.0 = mean sojourn at the deadline; the slow
+#: pair fires at 0.6 (150 ms of a 250 ms deadline) for early warning.
+SOJOURN_WINDOWS: Tuple[BurnRateWindow, ...] = (
+    BurnRateWindow("fast", long_s=6.0, short_s=2.0, factor=1.0),
+    BurnRateWindow("slow", long_s=30.0, short_s=10.0, factor=0.6),
+)
+#: Liveness windows: burn is the shortfall of the observed attempt rate
+#: against the expected floor, so factor 0.95 means "95 % of expected
+#: traffic has vanished" — a starved gNB, not a noisy one.
+LIVENESS_WINDOWS: Tuple[BurnRateWindow, ...] = (
+    BurnRateWindow("fast", long_s=20.0, short_s=5.0, factor=0.95),
+)
+
+#: The survivability campaign's registration deadline (ms of simulated
+#: gNB-side sojourn, attempt arrival → outcome) — the number a user
+#: would call "the attach worked".
+REGISTRATION_SOJOURN_DEADLINE_MS = 250.0
 
 #: Container-mode stable L_T per module (µs), the Fig 9 / Table II
 #: baseline the 2.9× stable-overhead objective multiplies.
@@ -144,6 +163,86 @@ class ThresholdSlo:
         return f"{self.name}: mean {self.basename} <= {self.limit_us:g} us"
 
 
+class SojournSlo:
+    """gNB-side registration-sojourn ceiling (attempt → outcome).
+
+    The blind spot this closes: a pure-queueing collapse leaves every
+    registration *eventually* succeeding, so the success-ratio SLO reads
+    healthy while the sojourn deadline dies.  Burn rate = windowed mean
+    of the ``gnb_registration_sojourn_ms`` histogram divided by the
+    deadline; 0.0 when the window saw no attempts (starvation is the
+    liveness SLO's problem, same split as :class:`ThresholdSlo`).
+    """
+
+    basename = "gnb_registration_sojourn_ms"
+
+    def __init__(
+        self,
+        name: str,
+        labels: Mapping[str, str],
+        deadline_ms: float = REGISTRATION_SOJOURN_DEADLINE_MS,
+        windows: Sequence[BurnRateWindow] = SOJOURN_WINDOWS,
+    ) -> None:
+        if deadline_ms <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline_ms}")
+        self.name = name
+        self.labels = dict(labels)
+        self.deadline_ms = deadline_ms
+        self.windows = tuple(windows)
+
+    def burn_rate(self, tsdb: Tsdb, window_ns: int, at_ns: int) -> float:
+        mean = tsdb.windowed_mean(self.basename, window_ns, at_ns, **self.labels)
+        if mean is None:
+            return 0.0
+        return mean / self.deadline_ms
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: mean {self.basename} <= {self.deadline_ms:g} ms"
+        )
+
+
+class LivenessSlo:
+    """Traffic-liveness floor: the expected attempt rate must keep flowing.
+
+    :class:`RatioSlo` reads a zero-attempt window as burn 0.0, so a
+    fully starved gNB — the worst failure mode — looks healthy.  This
+    companion objective burns on the *shortfall*: burn = 1 − rate/floor,
+    clamped at 0.  It stays silent until the counter has at least two
+    samples inside the window, so a freshly armed scraper cannot fire
+    before traffic had any chance to appear.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        total: Tuple[str, Mapping[str, str]],
+        min_rate_per_s: float,
+        windows: Sequence[BurnRateWindow] = LIVENESS_WINDOWS,
+    ) -> None:
+        if min_rate_per_s <= 0:
+            raise ValueError(
+                f"min rate must be positive, got {min_rate_per_s}"
+            )
+        self.name = name
+        self.total = (total[0], dict(total[1]))
+        self.min_rate_per_s = min_rate_per_s
+        self.windows = tuple(windows)
+
+    def burn_rate(self, tsdb: Tsdb, window_ns: int, at_ns: int) -> float:
+        total_name, total_labels = self.total
+        series = tsdb.get(total_name, **total_labels)
+        if series is None or len(series.window(at_ns - window_ns, at_ns)) < 2:
+            return 0.0
+        rate = tsdb.rate(total_name, window_ns, at_ns, **total_labels)
+        return max(0.0, 1.0 - rate / self.min_rate_per_s)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: rate {self.total[0]} >= {self.min_rate_per_s:g}/s"
+        )
+
+
 @dataclass
 class Alert:
     """One firing of an SLO's burn-rate rule, on simulated time."""
@@ -215,17 +314,62 @@ class SloEngine:
         return alerts
 
 
-def default_slos(testbed: Any) -> List[Any]:
-    """The paper-derived objectives for one testbed."""
-    gnb = testbed.gnb
-    slos: List[Any] = [
-        RatioSlo(
-            "registration-success",
-            good=("gnb_registrations_succeeded_total", {"gnb": gnb.name}),
-            total=("gnb_registrations_attempted_total", {"gnb": gnb.name}),
-            objective=0.99,
+def _legit_gnbs(testbed: Any) -> List[Any]:
+    """Every legitimate gNB on the testbed, attack cells excluded.
+
+    A sharded testbed may expose ``testbed.gnbs``; the single-cell
+    testbed only ``testbed.gnb``.  Hostile cells (``gnb-atk-*``, the
+    :mod:`repro.security.attacks` ingress names) carry adversarial
+    streams whose failure is *desired* — binding SLOs to them would turn
+    every successful defense into a page.
+    """
+    gnbs = list(getattr(testbed, "gnbs", None) or [testbed.gnb])
+    return [gnb for gnb in gnbs if not gnb.name.startswith("gnb-atk-")]
+
+
+def default_slos(
+    testbed: Any,
+    expected_registration_rate_per_s: Optional[float] = None,
+) -> List[Any]:
+    """The paper-derived objectives for one testbed.
+
+    Per legitimate gNB: the ≥99 % success ratio, the 250 ms sojourn
+    deadline, and — when the caller declares the workload's expected
+    attempt rate — a traffic-liveness floor that catches full starvation
+    (the case the ratio SLO reads as burn 0).  SLO names carry a
+    ``-<gnb>`` suffix only on multi-cell testbeds, so single-cell alert
+    streams keep their historical names.
+    """
+    slos: List[Any] = []
+    gnbs = _legit_gnbs(testbed)
+    multi_cell = len(gnbs) > 1
+    for gnb in gnbs:
+        suffix = f"-{gnb.name}" if multi_cell else ""
+        slos.append(
+            RatioSlo(
+                f"registration-success{suffix}",
+                good=("gnb_registrations_succeeded_total", {"gnb": gnb.name}),
+                total=("gnb_registrations_attempted_total", {"gnb": gnb.name}),
+                objective=0.99,
+            )
         )
-    ]
+        slos.append(
+            SojournSlo(
+                f"registration-sojourn{suffix}",
+                labels={"gnb": gnb.name},
+            )
+        )
+        if expected_registration_rate_per_s is not None:
+            slos.append(
+                LivenessSlo(
+                    f"registration-liveness{suffix}",
+                    total=(
+                        "gnb_registrations_attempted_total",
+                        {"gnb": gnb.name},
+                    ),
+                    min_rate_per_s=expected_registration_rate_per_s,
+                )
+            )
     for module, server in sorted(testbed.module_servers().items()):
         baseline = CONTAINER_BASELINE_LT_US.get(module)
         if baseline is None:

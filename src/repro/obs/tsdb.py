@@ -128,6 +128,18 @@ class Tsdb:
     def all_series(self) -> List[TsdbSeries]:
         return [self._series[key] for key in sorted(self._series)]
 
+    def series_named(self, name: str) -> List[TsdbSeries]:
+        """Every series with ``name``, in sorted label order.
+
+        The detection analytics fan over per-label series (per-gNB
+        arrival counters, shed-by-reason counters) without knowing the
+        label values up front; sorted iteration keeps every consumer
+        deterministic.
+        """
+        return [
+            self._series[key] for key in sorted(self._series) if key[0] == name
+        ]
+
     def __len__(self) -> int:
         return len(self._series)
 

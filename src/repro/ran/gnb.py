@@ -21,6 +21,7 @@ from repro.fivegc.messages import (
 )
 from repro.hw.host import PhysicalHost
 from repro.ran.ue import CommercialUE, UserEquipment
+from repro.sim.metrics import BoundedSeries
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,14 @@ class Gnb:
         self.router = router
         self.registrations_attempted = 0
         self.registrations_succeeded = 0
+        # Registration sojourn (simulated ms) per attempt: outcome time
+        # minus the attempt's *arrival* — the scheduled slot when the
+        # caller paces arrivals on a grid, the call instant otherwise.
+        # Queueing delay and admission-shed fast rejects are both
+        # included, so the scraped histogram carries exactly the deadline
+        # accounting the survivability campaign reports (ROADMAP item 4:
+        # a pure-queueing collapse must be visible to the SLO engine).
+        self.sojourn_ms = BoundedSeries()
 
     # --------------------------------------------------------------- radio
 
@@ -82,22 +91,31 @@ class Gnb:
         ue: UserEquipment,
         establish_session: bool = True,
         initial: bool = True,
+        arrival_ns: Optional[int] = None,
     ) -> RegistrationOutcome:
         """Run the full registration (and optional PDU session) for ``ue``.
 
         ``initial=False`` re-registers with the UE's held 5G-GUTI (the
         SUCI/SIDF round is skipped; authentication still runs afresh).
+        ``arrival_ns`` is the attempt's scheduled arrival on the
+        simulated clock: callers that pace arrivals on a grid pass the
+        slot time so the recorded sojourn includes queueing delay behind
+        earlier work; by default the sojourn is pure service time.
         Returns the outcome including the end-to-end session setup time in
         simulated milliseconds.
         """
         self.registrations_attempted += 1
+        if arrival_ns is None:
+            arrival_ns = self.host.clock.now_ns
         if isinstance(ue, CommercialUE) and not ue.can_detect_plmn(self.plmn):
+            self.sojourn_ms.append((self.host.clock.now_ns - arrival_ns) / 1e6)
             return RegistrationOutcome(
                 success=False,
                 failure_cause=f"UE cannot detect PLMN {self.plmn} "
                 f"(custom MCC/MNC are not detected by COTS devices)",
             )
         if isinstance(ue, CommercialUE) and not ue.os_compatible:
+            self.sojourn_ms.append((self.host.clock.now_ns - arrival_ns) / 1e6)
             return RegistrationOutcome(
                 success=False,
                 failure_cause=f"{ue.profile.model} OS {ue.os_version} cannot "
@@ -186,6 +204,7 @@ class Gnb:
 
         if ue.registered:
             self.registrations_succeeded += 1
+        self.sojourn_ms.append((clock.now_ns - arrival_ns) / 1e6)
         # Continuous monitoring: let an installed scraper sample at the
         # registration boundary (pull-only; after the measure window and
         # all spans closed, so clocks and traces are unaffected).

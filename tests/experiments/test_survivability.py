@@ -13,7 +13,9 @@ QUICK = dict(legit=6, horizon_s=2.0, seed=29)
 
 
 def test_defense_registry_shape():
-    assert DEFENSES == ("none", "bucket", "guard", "breaker", "all")
+    assert DEFENSES == (
+        "none", "bucket", "guard", "breaker", "all", "governed"
+    )
 
 
 def test_campaign_report_is_byte_identical_per_seed():
@@ -59,12 +61,42 @@ def test_disarmed_arm_spends_attack_free_nanoseconds():
 
 def test_armed_idle_defenses_cost_zero_simulated_time():
     """Admission control is clockless arithmetic: with no storm, every
-    defended arm lands on the disarmed arm's exact final clock."""
+    defended arm — including the quiescent governor — lands on the
+    disarmed arm's exact final clock."""
     reference = _run_arm("none", 0.0, **QUICK)["final_clock_ns"]
-    for defense in ("bucket", "guard", "breaker", "all"):
+    for defense in ("bucket", "guard", "breaker", "all", "governed"):
         row = _run_arm(defense, 0.0, **QUICK)
         assert row["final_clock_ns"] == reference, defense
         assert row["legit_success_rate"] == 1.0
+        if defense == "governed":
+            assert row["governor"]["actions"] == []  # never armed
+
+
+def test_governed_arm_detects_and_recovers():
+    kwargs = dict(legit=12, horizon_s=5.0, seed=29)
+    undefended = _run_arm("none", 400.0, **kwargs)
+    governed = _run_arm("governed", 400.0, **kwargs)
+    # The PR 8 blind spot, closed: the collapse now pages on the
+    # sojourn SLO inside the storm window...
+    assert undefended["sojourn_alerts_fired"] >= 1
+    assert undefended["first_sojourn_alert_s"] < kwargs["horizon_s"]
+    # ...and the governor turns the page into armed defenses.
+    actions = governed["governor"]["actions"]
+    assert actions and actions[0]["action"] == "arm"
+    assert set(actions[0]["defenses"]) == {"source", "gnb"}
+    assert governed["detect_latency_s"] == actions[0]["at_s"]
+    assert (
+        governed["legit_success_rate"] > undefended["legit_success_rate"]
+    )
+
+
+def test_governed_arm_is_byte_identical_per_seed():
+    kwargs = dict(legit=12, horizon_s=5.0, seed=29)
+    first = _run_arm("governed", 400.0, **kwargs)
+    second = _run_arm("governed", 400.0, **kwargs)
+    # Bit-identical everything: the sojourn histogram samples, the
+    # classifier-driven governor actions, and the final clock.
+    assert first == second
 
 
 def test_storm_arm_degrades_then_defense_recovers():

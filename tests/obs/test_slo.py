@@ -4,10 +4,13 @@ import pytest
 
 from repro.experiments.harness import warmed_testbed
 from repro.obs.slo import (
+    REGISTRATION_SOJOURN_DEADLINE_MS,
     Alert,
     BurnRateWindow,
+    LivenessSlo,
     RatioSlo,
     SloEngine,
+    SojournSlo,
     ThresholdSlo,
     default_slos,
 )
@@ -124,12 +127,83 @@ def test_engine_long_window_alone_does_not_keep_firing():
     assert alerts[0].resolved_at_ns == 2 * NS_PER_S
 
 
-def test_default_slos_cover_success_and_module_latency():
+def test_sojourn_burn_rate_math():
+    tsdb = Tsdb()
+    base = "gnb_registration_sojourn_ms"
+    tsdb.series(base + "_count", kind="counter", gnb="g").append(0, 0.0)
+    tsdb.series(base + "_sum", kind="counter", gnb="g").append(0, 0.0)
+    tsdb.series(base + "_count", kind="counter", gnb="g").append(NS_PER_S, 4.0)
+    tsdb.series(base + "_sum", kind="counter", gnb="g").append(
+        NS_PER_S, 4 * 500.0
+    )
+    slo = SojournSlo("sojourn", labels={"gnb": "g"})
+    # Mean 500 ms over the 250 ms deadline -> burn 2.0.
+    assert slo.burn_rate(tsdb, 2 * NS_PER_S, NS_PER_S) == pytest.approx(2.0)
+    # No attempts in the window: starvation belongs to the liveness SLO.
+    assert slo.burn_rate(tsdb, NS_PER_S, 30 * NS_PER_S) == 0.0
+    assert slo.deadline_ms == REGISTRATION_SOJOURN_DEADLINE_MS
+    with pytest.raises(ValueError):
+        SojournSlo("bad", labels={}, deadline_ms=0.0)
+
+
+def test_liveness_burn_is_rate_shortfall():
+    tsdb = Tsdb()
+    series = tsdb.series("total_total", kind="counter")
+    slo = LivenessSlo(
+        "liveness",
+        total=("total_total", {}),
+        min_rate_per_s=10.0,
+        windows=(WINDOW,),
+    )
+    # Unknown series / single sample: silent, never a spurious page.
+    assert slo.burn_rate(tsdb, 4 * NS_PER_S, 0) == 0.0
+    series.append(0, 0.0)
+    assert slo.burn_rate(tsdb, 4 * NS_PER_S, 0) == 0.0
+    # 5/s against a 10/s floor -> half the traffic gone, burn 0.5.
+    series.append(NS_PER_S, 5.0)
+    assert slo.burn_rate(tsdb, NS_PER_S, NS_PER_S) == pytest.approx(0.5)
+    # At the floor (or above): burn clamps at 0.
+    series.append(2 * NS_PER_S, 25.0)
+    assert slo.burn_rate(tsdb, NS_PER_S, 2 * NS_PER_S) == 0.0
+    with pytest.raises(ValueError):
+        LivenessSlo("bad", total=("t", {}), min_rate_per_s=0.0)
+
+
+def test_starved_gnb_fires_liveness_alert():
+    # Regression for the RatioSlo blind spot: traffic flows for 6 s, then
+    # the gNB is fully starved.  The ratio SLO stays at burn 0 the whole
+    # run; the liveness companion must page.
+    tsdb = Tsdb()
+    good = total = 0.0
+    for second in range(30):
+        if second < 6:
+            good += 10.0
+            total += 10.0
+        _feed(tsdb, second, good, total)
+    ratio = RatioSlo(
+        "registration-success",
+        good=("good_total", {}),
+        total=("total_total", {}),
+        objective=0.9,
+    )
+    liveness = LivenessSlo(
+        "registration-liveness",
+        total=("total_total", {}),
+        min_rate_per_s=10.0,
+        windows=(BurnRateWindow("fast", long_s=8.0, short_s=4.0, factor=0.95),),
+    )
+    alerts = SloEngine([ratio, liveness]).evaluate(tsdb)
+    assert [a.slo for a in alerts] == ["registration-liveness"]
+    assert alerts[0].fired_at_ns >= 6 * NS_PER_S
+
+
+def test_default_slos_cover_success_sojourn_and_module_latency():
     testbed = warmed_testbed(IsolationMode.SGX, seed=7)
     slos = default_slos(testbed)
     names = [slo.name for slo in slos]
     assert names == [
         "registration-success",
+        "registration-sojourn",
         "stable-latency-eamf",
         "stable-latency-eausf",
         "stable-latency-eudm",
@@ -138,6 +212,34 @@ def test_default_slos_cover_success_and_module_latency():
     # baseline, comfortably above the measured 1.9-2.2x SGX factors.
     eudm = next(slo for slo in slos if slo.name == "stable-latency-eudm")
     assert eudm.limit_us == pytest.approx(2.9 * 61.0)
+    # The liveness floor is opt-in: only workloads that declare their
+    # expected arrival rate can distinguish starvation from idleness.
+    armed = default_slos(testbed, expected_registration_rate_per_s=2.5)
+    liveness = [slo for slo in armed if isinstance(slo, LivenessSlo)]
+    assert [slo.name for slo in liveness] == ["registration-liveness"]
+    assert liveness[0].min_rate_per_s == pytest.approx(2.5)
+
+
+class _StubGnb:
+    def __init__(self, name):
+        self.name = name
+
+
+def test_default_slos_cover_every_legit_gnb_and_skip_attack_cells():
+    testbed = warmed_testbed(IsolationMode.SGX, seed=7)
+    # Duck-typed multi-cell view: two legit cells plus a hostile one.
+    testbed.gnbs = [
+        testbed.gnb, _StubGnb("gnb-1"), _StubGnb("gnb-atk-0"),
+    ]
+    slos = default_slos(testbed, expected_registration_rate_per_s=1.0)
+    names = [slo.name for slo in slos]
+    for gnb in (testbed.gnb.name, "gnb-1"):
+        assert f"registration-success-{gnb}" in names
+        assert f"registration-sojourn-{gnb}" in names
+        assert f"registration-liveness-{gnb}" in names
+    # The attack cell's stream is adversarial by construction — its
+    # failure is the defense working, never a page.
+    assert not any("gnb-atk" in name for name in names)
 
 
 def test_alert_is_plain_data():
