@@ -366,6 +366,40 @@ def measure_attack_overhead(registrations: int = OVERHEAD_REGISTRATIONS) -> dict
     }
 
 
+def measure_traces_overhead(registrations: int = OVERHEAD_REGISTRATIONS) -> dict:
+    """Host-time cost of the quiescent distributed-tracing apparatus.
+
+    Compares registrations on an untouched testbed against one carrying
+    a disabled :class:`~repro.obs.trace.Tracer` that is provisioned for
+    distributed tracing — ``trace_seed`` set and a
+    :class:`~repro.obs.trace.TraceStore` attached.  Every hook sees a
+    non-``None`` tracer and must consult ``enabled`` to skip it (the
+    worst case for the guard checks, now with the heavier distributed
+    -tracing state behind them); no spans open and nothing is stored.
+    This gates the price the trace-context machinery adds to *untraced*
+    runs, which must stay within the same budget as the original
+    disabled-tracer hooks.
+    """
+    from repro.obs.trace import TraceStore, Tracer
+
+    def arm(tb) -> None:
+        tb.host.tracer = Tracer(
+            tb.host.clock,
+            enabled=False,
+            trace_seed=7,
+            store=TraceStore(cap=512, sample_every=8),
+        )
+
+    result = _paired_overhead(arm, registrations)
+    return {
+        "registrations": result["registrations"],
+        "trimmed_pairs": result["trimmed_pairs"],
+        "traces_none_wall_s": result["base_wall_s"],
+        "traces_quiescent_wall_s": result["armed_wall_s"],
+        "quiescent_overhead_percent": result["overhead_percent"],
+    }
+
+
 def measure_detect_overhead(registrations: int = OVERHEAD_REGISTRATIONS) -> dict:
     """Host-time cost of the full armed-but-quiet detection loop.
 
@@ -507,6 +541,15 @@ def main(argv=None) -> int:
         "(ISSUE 8 budget: 2)",
     )
     parser.add_argument(
+        "--traces-gate",
+        type=float,
+        default=None,
+        metavar="PERCENT",
+        help="measure the quiescent distributed-tracing apparatus "
+        "(disabled tracer with trace seed + store attached) and exit "
+        "non-zero if it exceeds this percentage (ISSUE 10 budget: 3)",
+    )
+    parser.add_argument(
         "--detect-gate",
         type=float,
         default=None,
@@ -545,6 +588,8 @@ def main(argv=None) -> int:
         run["monitor_overhead"] = measure_monitor_overhead()
     if args.attack_gate is not None:
         run["attack_overhead"] = measure_attack_overhead()
+    if args.traces_gate is not None:
+        run["traces_overhead"] = measure_traces_overhead()
     if args.detect_gate is not None:
         run["detect_overhead"] = measure_detect_overhead()
     if args.suite:
@@ -629,6 +674,15 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: quiescent attack-plane overhead {overhead}% exceeds "
                 f"the --attack-gate budget of {args.attack_gate}%",
+                file=sys.stderr,
+            )
+            return 1
+    if args.traces_gate is not None:
+        overhead = run["traces_overhead"]["quiescent_overhead_percent"]
+        if overhead > args.traces_gate:
+            print(
+                f"FAIL: quiescent distributed-tracing overhead {overhead}% "
+                f"exceeds the --traces-gate budget of {args.traces_gate}%",
                 file=sys.stderr,
             )
             return 1

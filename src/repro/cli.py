@@ -160,6 +160,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     trace = testbed.trace_registration()
     if args.json:
         payload = {
+            "schema": 1,
             "outcome": {
                 "success": trace.outcome.success,
                 "session_setup_ms": trace.outcome.session_setup_ms,
@@ -652,6 +653,280 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_traced_arm(args: argparse.Namespace) -> Dict[str, object]:
+    """One traced survivability arm for the ``traces`` command."""
+    from repro.experiments.survivability import _run_arm
+
+    return _run_arm(
+        args.defense,
+        args.rate,
+        legit=args.legit,
+        horizon_s=args.horizon,
+        seed=args.seed,
+        trace_sample=args.sample,
+    )
+
+
+def _traces_digest(row: Dict[str, object], top: int) -> Dict[str, object]:
+    from repro.obs.analytics import slowest_traces_digest
+
+    return slowest_traces_digest(
+        row["_trace_store"],
+        top=top,
+        module_servers=row["_module_servers"],
+        module_runtimes=row["_module_runtimes"],
+    )
+
+
+def _find_trace_record(
+    store_dump: Dict[str, object], trace_id: str
+) -> Optional[Dict[str, object]]:
+    for record in store_dump.get("records", ()):
+        if record["trace_id"] == trace_id:
+            return record
+    return None
+
+
+def _traces_selftest() -> int:
+    """Tracing self-check used by CI (the E-TRACE2 acceptance scenario).
+
+    Runs the undefended 400/s queueing collapse with tracing armed and
+    asserts the full pipeline: the sojourn SLO alert cites exemplar
+    trace ids, at least one cited id resolves to a complete cross-NF
+    tree in the store, the tree's integer-ns per-module decomposition
+    agrees exactly with the float-µs ``registration_breakdown``
+    (``round(us * 1000) == ns`` for every figure), and tracing spent
+    zero simulated nanoseconds (traced and untraced arms end on the
+    same clock reading).  The JSON document on stdout is deterministic —
+    CI runs the command twice and ``cmp``s the bytes; status lines go
+    to stderr.
+    """
+    import json
+
+    from repro.experiments.survivability import _run_arm
+    from repro.obs.analytics import registration_breakdown_ns, slowest_traces_digest
+    from repro.obs.trace import registration_breakdown, span_from_dict
+
+    failures: List[str] = []
+    kwargs = dict(legit=12, horizon_s=5.0, seed=29)
+    traced = _run_arm("none", 400.0, trace_sample=8, **kwargs)
+    untraced = _run_arm("none", 400.0, **kwargs)
+
+    # Tracing must be free on the simulated clock.
+    if traced["final_clock_ns"] != untraced["final_clock_ns"]:
+        failures.append(
+            f"traced arm clock {traced['final_clock_ns']} != "
+            f"untraced {untraced['final_clock_ns']}"
+        )
+
+    store_dump = traced["_trace_store"]
+    module_servers = traced["_module_servers"]
+    module_runtimes = traced["_module_runtimes"]
+
+    # The collapse must page on the sojourn SLO and cite exemplars.
+    sojourn_alerts = [
+        alert for alert in traced["_alerts"]
+        if alert["slo"].startswith("registration-sojourn")
+    ]
+    if not sojourn_alerts:
+        failures.append("queueing collapse fired no sojourn SLO alert")
+    cited = sorted(
+        {tid for alert in sojourn_alerts for tid in alert["exemplar_trace_ids"]}
+    )
+    if sojourn_alerts and not cited:
+        failures.append("sojourn alert cited no exemplar trace ids")
+
+    # At least one cited exemplar must resolve to a stored cross-NF tree.
+    resolved = [
+        record
+        for record in map(lambda t: _find_trace_record(store_dump, t), cited)
+        if record is not None
+    ]
+    if cited and not resolved:
+        failures.append("no cited exemplar trace id resolved in the store")
+    for record in resolved[:1]:
+        servers = {
+            str(node["tags"].get("server"))
+            for node in _walk_tree(record["root"])
+            if node["kind"] == "sbi.server"
+        }
+        missing = set(module_servers.values()) - servers
+        if missing:
+            failures.append(
+                f"resolved tree is not cross-NF: no server spans for "
+                f"{', '.join(sorted(missing))}"
+            )
+
+    # Integer-ns analytics must agree exactly with the float-µs
+    # breakdown on every stored tree: round(us * 1000) == ns.
+    checked = 0
+    for record in store_dump.get("records", ()):
+        ns = registration_breakdown_ns(
+            record["root"], module_servers, module_runtimes
+        )
+        us = registration_breakdown(
+            span_from_dict(record["root"]), module_servers, module_runtimes
+        )
+        for module, row_ns in ns.items():
+            row_us = us[module]
+            pairs = [
+                ("lf", "lf_us", "lf_ns"), ("lt", "lt_us", "lt_ns"),
+                ("ln", "ln_us", "ln_ns"), ("r", "r_us", "r_ns"),
+                ("shield", "shield_us", "shield_ns"),
+                ("copy", "copy_us", "copy_ns"),
+                ("host", "host_us", "host_ns"),
+                ("transition", "transition_us", "transition_ns"),
+            ]
+            for label, us_key, ns_key in pairs:
+                if round(row_us[us_key] * 1000) != row_ns[ns_key]:
+                    failures.append(
+                        f"{record['trace_id'][:8]} {module} {label}: "
+                        f"us {row_us[us_key]} !~ ns {row_ns[ns_key]}"
+                    )
+            for count_key in ("requests", "eenters", "eexits", "ocalls"):
+                if row_us[count_key] != row_ns[count_key]:
+                    failures.append(
+                        f"{record['trace_id'][:8]} {module} {count_key}: "
+                        f"{row_us[count_key]} != {row_ns[count_key]}"
+                    )
+        checked += 1
+    if not checked:
+        failures.append("trace store kept no records to cross-check")
+    if store_dump.get("kept_tail", 0) < 1:
+        failures.append("collapse kept no tail (failed/deadline) traces")
+
+    digest = slowest_traces_digest(
+        store_dump,
+        top=10,
+        module_servers=module_servers,
+        module_runtimes=module_runtimes,
+    )
+    # Critical paths must start at the registration root and account
+    # for the full trace duration at the first frame.
+    for entry in digest["slowest"]:
+        path = entry["critical_path"]
+        if not path or path[0]["kind"] != "registration":
+            failures.append(f"{entry['trace_id'][:8]}: path missing root")
+        elif path[0]["ns"] != entry["duration_ns"]:
+            failures.append(
+                f"{entry['trace_id'][:8]}: root frame {path[0]['ns']} ns "
+                f"!= duration {entry['duration_ns']} ns"
+            )
+
+    payload = {
+        "digest": digest,
+        "sojourn_alerts": sojourn_alerts,
+        "cited_trace_ids": cited,
+        "resolved": len(resolved),
+        "cross_checked": checked,
+        "final_clock_ns": traced["final_clock_ns"],
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if failures:
+        for failure in failures:
+            print(f"traces selftest FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"traces selftest OK ({store_dump['seen']} traces seen, "
+        f"{len(store_dump['records'])} kept "
+        f"({store_dump['kept_tail']} tail), {len(cited)} cited, "
+        f"{checked} trees cross-checked exactly)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _walk_tree(node: Dict[str, object]):
+    yield node
+    for child in node["children"]:
+        yield from _walk_tree(child)
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    """Distributed-trace analytics over a traced survivability arm."""
+    import json
+
+    if args.selftest:
+        return _traces_selftest()
+
+    from repro.obs.trace import format_span_tree, span_from_dict
+
+    row = _run_traced_arm(args)
+    store_dump = row["_trace_store"]
+
+    if args.trace_id:
+        record = _find_trace_record(store_dump, args.trace_id)
+        if record is None:
+            print(
+                f"trace {args.trace_id} not in store "
+                f"({len(store_dump['records'])} kept of "
+                f"{store_dump['seen']} seen)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.json:
+            print(json.dumps(
+                {"schema": 1, "trace": record}, indent=2, sort_keys=True,
+            ))
+            return 0
+        print(
+            f"trace {record['trace_id']} supi={record['supi']} "
+            f"attempt={record['attempt']} reason={record['reason']} "
+            f"sojourn={record['sojourn_ns'] / 1e6:.3f} ms"
+        )
+        print("\n".join(format_span_tree(span_from_dict(record["root"]))))
+        return 0
+
+    digest = _traces_digest(row, args.slowest)
+    if args.json:
+        print(json.dumps(digest, indent=2, sort_keys=True))
+        return 0
+
+    print(
+        f"arm: defense={args.defense} rate={args.rate:g}/s "
+        f"legit={args.legit} horizon={args.horizon:g}s seed={args.seed}"
+    )
+    print(
+        f"store: {digest['seen']} seen, {digest['kept']} kept "
+        f"({digest['kept_tail']} tail + {digest['kept_head']} head), "
+        f"{digest['evicted']} evicted"
+    )
+    sojourn_alerts = [
+        alert for alert in row["_alerts"]
+        if alert["slo"].startswith("registration-sojourn")
+    ]
+    cited = sorted(
+        {tid for alert in sojourn_alerts for tid in alert["exemplar_trace_ids"]}
+    )
+    print(
+        f"alerts: {len(row['_alerts'])} fired, {len(sojourn_alerts)} "
+        f"sojourn, {len(cited)} exemplar trace ids cited"
+    )
+    print(f"\nslowest {len(digest['slowest'])} traces:")
+    for rank, entry in enumerate(digest["slowest"], start=1):
+        mark = " *" if entry["trace_id"] in cited else ""
+        print(
+            f"  {rank:>2}. {entry['trace_id'][:16]} "
+            f"{entry['duration_ns'] / 1e6:>9.3f} ms  "
+            f"{entry['reason']:<13} supi={entry['supi']} "
+            f"attempt={entry['attempt']}{mark}"
+        )
+        path = entry["critical_path"]
+        hot = max(path, key=lambda frame: frame["self_ns"])
+        chain = " > ".join(frame["name"] for frame in path[:6])
+        if len(path) > 6:
+            chain += " > ..."
+        print(f"      path: {chain}")
+        print(
+            f"      hottest frame: {hot['name']} ({hot['kind']}) "
+            f"self {hot['self_ns'] / 1e6:.3f} ms of "
+            f"{hot['ns'] / 1e6:.3f} ms"
+        )
+    if cited:
+        print("\n  * cited as an exemplar by a sojourn SLO alert")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     report = _run_experiment(args.command, args)
     print(report.format())
@@ -850,6 +1125,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the report as JSON (byte-identical per seed)",
     )
 
+    traces = sub.add_parser(
+        "traces",
+        help="distributed-trace analytics: run a traced survivability "
+        "arm, rank the slowest stored traces with critical paths, and "
+        "resolve alert-cited exemplar trace ids to full cross-NF trees",
+    )
+    traces.add_argument(
+        "--defense", choices=["none", "bucket", "guard", "breaker", "all",
+                              "governed"],
+        default="none",
+        help="admission config for the traced arm",
+    )
+    traces.add_argument(
+        "--rate", type=float, default=400.0,
+        help="attack arrival rate per second (400 = queueing collapse)",
+    )
+    traces.add_argument("--legit", type=int, default=12)
+    traces.add_argument("--horizon", type=float, default=5.0)
+    traces.add_argument("--seed", type=int, default=29)
+    traces.add_argument(
+        "--sample", type=int, default=8, metavar="N",
+        help="head-sample 1 in N healthy traces (failed/deadline traces "
+        "are always kept)",
+    )
+    traces.add_argument(
+        "--slowest", type=int, default=10, metavar="N",
+        help="rank the N slowest stored traces in the digest",
+    )
+    traces.add_argument(
+        "--trace-id", default=None, metavar="ID",
+        help="resolve one trace id to its full span tree instead of "
+        "the ranked digest",
+    )
+    traces.add_argument(
+        "--json", action="store_true",
+        help="emit the digest (or resolved trace) as JSON "
+        "(byte-identical per seed)",
+    )
+    traces.add_argument(
+        "--selftest", action="store_true",
+        help="tracing self-check: alert-to-trace exemplar resolution + "
+        "exact integer-ns breakdown agreement, deterministic JSON on "
+        "stdout (used by CI)",
+    )
+
     for name, description in _EXPERIMENTS.items():
         experiment = sub.add_parser(name, help=description)
         experiment.add_argument("--registrations", type=int, default=60)
@@ -887,6 +1207,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_capacity(args)
         if args.command == "attack":
             return _cmd_attack(args)
+        if args.command == "traces":
+            return _cmd_traces(args)
         return _cmd_experiment(args)
     except BrokenPipeError:  # output piped into head/less and closed
         return 0

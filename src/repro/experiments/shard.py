@@ -57,6 +57,8 @@ from repro.experiments.harness import (
 from repro.experiments.parallel import Arm, run_arms
 from repro.fivegc.nf_base import CONTROL_PLANE_RING_SEED
 from repro.fivegc.routing import shard_labels, supi_ring
+from repro.obs.analytics import slowest_traces_digest
+from repro.obs.trace import Tracer, TraceStore
 from repro.obs.tsdb import Tsdb
 from repro.paka.deploy import IsolationMode
 
@@ -110,6 +112,8 @@ def run_shard(
     event_log_capacity: int = EVENT_LOG_CAPACITY,
     monitor_cadence_s: Optional[float] = None,
     tsdb_series_cap: Optional[int] = 512,
+    trace_sample: Optional[int] = None,
+    trace_store_cap: int = 512,
 ) -> Dict[str, Any]:
     """One shard arm: register this shard's UEs on its own sub-testbed.
 
@@ -118,6 +122,12 @@ def run_shard(
     warmup, registrations back-to-back, clock read again — the optional
     scraper is pull-only and the trace for the span decomposition runs
     *after* the window closes, so neither perturbs the measured clock.
+
+    ``trace_sample`` arms campaign-wide distributed tracing: every
+    registration runs under a trace context (ids seeded from this
+    shard's sub-testbed seed) with healthy traces head-sampled 1/N into
+    a bounded :class:`TraceStore`.  Tracing never advances the clock, so
+    the measured window is byte-identical to an untraced run.
     """
     from repro.obs.scrape import Scraper
 
@@ -135,6 +145,14 @@ def run_shard(
         scraper = Scraper.for_testbed(
             testbed, cadence_s=monitor_cadence_s, series_cap=tsdb_series_cap
         ).install(testbed.host)
+    campaign_tracer = None
+    if trace_sample is not None:
+        campaign_tracer = Tracer(
+            testbed.host.clock,
+            trace_seed=shard_seed(seed, shard_index),
+            store=TraceStore(cap=trace_store_cap, sample_every=trace_sample),
+        )
+        testbed.host.tracer = campaign_tracer
     clock_before_ns = testbed.host.clock.now_ns
 
     successes = 0
@@ -147,6 +165,10 @@ def run_shard(
     if scraper is not None:
         scraper.scrape()  # closing sample at the campaign edge
         scraper.uninstall(testbed.host)
+    if campaign_tracer is not None:
+        # Uninstall before the one-shot span decomposition below, which
+        # insists on owning the host tracer.
+        testbed.host.tracer = None
     eenters = {
         name: testbed.paka.modules[name].runtime.sgx_stats.eenters
         - eenters_before[name]
@@ -163,7 +185,7 @@ def run_shard(
         for module, parts in sorted(trace.breakdown.items())
     }
 
-    return {
+    result: Dict[str, Any] = {
         "shard": shard_index,
         "ues": len(msins),
         "successes": successes,
@@ -173,6 +195,20 @@ def run_shard(
         "breakdown": breakdown,
         "tsdb": scraper.tsdb.to_dict() if scraper is not None else None,
     }
+    if campaign_tracer is not None:
+        # Trace store dump plus the module maps the analytics layer
+        # needs to decompose stored trees (identical across shards —
+        # every sub-testbed names its servers/runtimes the same way).
+        result["trace_store"] = campaign_tracer.store.to_dict()
+        result["module_servers"] = {
+            name: module.server.name
+            for name, module in sorted(testbed.paka.modules.items())
+        }
+        result["module_runtimes"] = {
+            name: module.runtime.name
+            for name, module in sorted(testbed.paka.modules.items())
+        }
+    return result
 
 
 @dataclass
@@ -182,6 +218,8 @@ class ShardedCampaignResult:
     report: ExperimentReport
     shard_results: List[Dict[str, Any]] = field(default_factory=list)
     tsdb: Optional[Tsdb] = None
+    trace_store: Optional[TraceStore] = None
+    traces_digest: Optional[Dict[str, Any]] = None
 
 
 def _human_count(ues: int) -> str:
@@ -200,12 +238,17 @@ def sharded_campaign(
     event_log_capacity: int = EVENT_LOG_CAPACITY,
     monitor_cadence_s: Optional[float] = None,
     pool: Optional[Any] = None,
+    trace_sample: Optional[int] = None,
+    trace_store_cap: int = 512,
 ) -> ShardedCampaignResult:
     """Partitioned mass-registration campaign over ``shards`` slices.
 
     ``jobs``/``pool`` follow :func:`repro.experiments.parallel.run_arms`
     (inline, fresh executor, or caller-owned executor) and **cannot**
     change a byte of the merged report — only how long the host waits.
+    ``trace_sample`` arms per-shard distributed tracing (see
+    :func:`run_shard`); the merged slowest-traces digest is equally
+    ``--jobs``-independent.
     """
     if ues < 1:
         raise ValueError(f"ues must be >= 1, got {ues}")
@@ -220,6 +263,8 @@ def sharded_campaign(
                 "seed": seed,
                 "event_log_capacity": event_log_capacity,
                 "monitor_cadence_s": monitor_cadence_s,
+                "trace_sample": trace_sample,
+                "trace_store_cap": trace_store_cap,
             },
         )
         for index, label in enumerate(shard_labels(shards))
@@ -338,6 +383,28 @@ def merge_shard_results(
         report.derived["tsdb_series"] = float(len(merged_tsdb))
         report.derived["tsdb_scrapes"] = float(len(merged_tsdb.scrape_times))
 
+    # Cross-shard trace merge: absorb per-shard stores in index order
+    # (records gain a ``shard`` field) and distill the slowest-traces
+    # digest.  Both are pure functions of the shard results, hence
+    # byte-identical however many jobs produced them.
+    merged_store: Optional[TraceStore] = None
+    traces_digest: Optional[Dict[str, Any]] = None
+    if any(r.get("trace_store") for r in ordered):
+        merged_store = TraceStore(cap=None)
+        for r in ordered:
+            if r.get("trace_store"):
+                merged_store.absorb(r["trace_store"], shard=str(r["shard"]))
+        maps = next(r for r in ordered if r.get("module_servers"))
+        traces_digest = slowest_traces_digest(
+            merged_store.to_dict(),
+            top=10,
+            module_servers=maps["module_servers"],
+            module_runtimes=maps["module_runtimes"],
+        )
+        report.derived["traces_kept"] = float(len(merged_store))
+        report.derived["traces_seen"] = float(merged_store.seen)
+
     return ShardedCampaignResult(
-        report=report, shard_results=ordered, tsdb=merged_tsdb
+        report=report, shard_results=ordered, tsdb=merged_tsdb,
+        trace_store=merged_store, traces_digest=traces_digest,
     )

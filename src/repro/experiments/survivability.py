@@ -30,6 +30,7 @@ from repro.fivegc.admission import AdmissionConfig, AdmissionController
 from repro.obs.detect import AdmissionGovernor, AttackClassifier
 from repro.obs.scrape import Scraper
 from repro.obs.slo import SloEngine, SojournSlo, default_slos
+from repro.obs.trace import Tracer, TraceStore
 from repro.paka.deploy import IsolationMode
 from repro.security.attacks import AttackPlane, generate_storm
 
@@ -124,8 +125,19 @@ def _run_arm(
     horizon_s: float,
     seed: int,
     deadline_ms: float = DEFAULT_DEADLINE_MS,
+    trace_sample: Optional[int] = None,
+    trace_store_cap: int = 2048,
 ) -> Dict[str, object]:
-    """One sweep arm: seeded storm × admission config on a fresh slice."""
+    """One sweep arm: seeded storm × admission config on a fresh slice.
+
+    ``trace_sample`` arms distributed tracing for the arm: every
+    legitimate registration runs under a deterministic trace context,
+    failed/deadline-violating traces are all kept (plus 1/N healthy
+    head samples) in a bounded store, and the row gains ``"_trace_*"``
+    keys — alert payloads then cite exemplar trace ids.  Tracing never
+    advances the simulated clock, so a traced arm's ``final_clock_ns``
+    is byte-identical to an untraced one.
+    """
     config, max_pending = _defense_configs()[defense]
     testbed = warmed_testbed(IsolationMode.SGX, seed=seed)
 
@@ -182,6 +194,18 @@ def _run_arm(
             ],
         )
         scraper.subscribe(governor)
+    tracer = None
+    if trace_sample is not None:
+        tracer = Tracer(
+            testbed.host.clock,
+            trace_seed=seed,
+            store=TraceStore(
+                cap=trace_store_cap,
+                sample_every=trace_sample,
+                deadline_ms=deadline_ms,
+            ),
+        )
+        testbed.host.tracer = tracer
     clock = testbed.host.clock
     start_ns = clock.now_ns
     lt_baseline = _module_lt_baseline(testbed)
@@ -214,6 +238,8 @@ def _run_arm(
             plane.execute(payload)
 
     scraper.uninstall(testbed.host)
+    if tracer is not None:
+        testbed.host.tracer = None
     sojourns_ms = list(testbed.gnb.sojourn_ms[sojourn_base:])
     alerts = SloEngine(
         default_slos(
@@ -273,6 +299,21 @@ def _run_arm(
         # first arming action; None when the governor never armed.
         row["detect_latency_s"] = arms[0]["at_s"] if arms else None
     row["_sojourns_ms"] = sojourns_ms  # stripped before the report
+    if tracer is not None:
+        # Traced-arm extras (only present when tracing was requested, so
+        # untraced reports stay byte-identical): the trace store dump,
+        # full alert payloads with their exemplar citations, and the
+        # module maps the analytics layer needs to decompose trees.
+        row["_trace_store"] = tracer.store.to_dict()
+        row["_alerts"] = [a.to_dict(base_ns=start_ns) for a in alerts]
+        row["_module_servers"] = {
+            name: module.server.name
+            for name, module in sorted(testbed.paka.modules.items())
+        }
+        row["_module_runtimes"] = {
+            name: module.runtime.name
+            for name, module in sorted(testbed.paka.modules.items())
+        }
     return row
 
 

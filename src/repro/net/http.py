@@ -407,6 +407,12 @@ class HttpServer:
         if warmup is not None:
             warmup()
 
+        # Pop the in-flight trace context before any handling; it is
+        # re-attached to the parsed request below so the header exists
+        # exactly where a real server would see it.
+        traceparent = connection.traceparent
+        if traceparent is not None:
+            connection.traceparent = None
         srv_trace = (
             tracer.begin(self.name, kind="sbi.server", server=self.name)
             if tracer is not None else None
@@ -428,6 +434,8 @@ class HttpServer:
                         )
                         raw = connection.server_tls.unprotect(protected_request)
                         request = HttpRequest.from_wire(raw)
+                        if traceparent is not None:
+                            request.headers["traceparent"] = traceparent
                         runtime.compute(
                             self.profile.parse_fixed_cycles
                             + self.profile.parse_per_byte_cycles * len(raw)
@@ -460,6 +468,8 @@ class HttpServer:
                 tracer.end(srv_trace)
         if srv_trace is not None:
             srv_trace.tags.update(path=request.path, status=response.status)
+            if traceparent is not None:
+                srv_trace.tags["traceparent"] = traceparent
 
         self.busy_us.append(busy_span.us)
         self.lf_us.append(lf_span.us)
@@ -518,13 +528,24 @@ class HttpServer:
 
 @dataclass
 class HttpConnection:
-    """An established TLS connection from a client to a server."""
+    """An established TLS connection from a client to a server.
+
+    ``traceparent`` is the in-flight W3C trace-context header for the
+    request currently traversing this connection.  It rides the
+    connection object instead of the wire bytes on purpose: every wire
+    cost in the model is length-dependent (TLS record cycles, bridge
+    transmit, per-byte parse), so carrying the header in ``raw`` would
+    make a traced run spend different simulated time than an untraced
+    one.  The server pops it and materialises the real header on the
+    parsed request, which is where handlers (and tests) observe it.
+    """
 
     client_name: str
     server: HttpServer
     client_tls: TlsSession
     server_tls: TlsSession
     open: bool = True
+    traceparent: Optional[str] = None
 
 
 class HttpClient:
@@ -672,6 +693,13 @@ class HttpClient:
             )
             if tracer is not None else None
         )
+        if req_trace is not None and req_trace.trace_id is not None:
+            # W3C traceparent (version 00, sampled) minted from the open
+            # sbi.request span; propagated out-of-band — see
+            # HttpConnection.traceparent for why it stays off the wire.
+            connection.traceparent = (
+                f"00-{req_trace.trace_id}-{req_trace.span_id}-01"
+            )
         try:
             return self._attempt_traced(
                 connection, request, raw, timeout_us, req_trace

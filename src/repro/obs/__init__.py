@@ -25,7 +25,16 @@ arithmetic:
   multi-window burn-rate alerts over the Tsdb timeline,
 * :mod:`repro.obs.profile` / :mod:`repro.obs.flame` — a
   cycle-attribution profiler folding span trees into collapsed-stack
-  flame graphs split by the shield/copy/host/transition components.
+  flame graphs split by the shield/copy/host/transition components,
+* :mod:`repro.obs.analytics` — tail-based trace analytics over stored
+  trees: exact integer-ns per-module breakdowns, critical paths and the
+  deterministic slowest-traces digest.
+
+Distributed tracing rides on the same span trees: a tracer armed with a
+``trace_seed`` stamps deterministic ``trace_id``/``span_id`` identity on
+every span, the HTTP client/server pair propagates the W3C
+``traceparent`` across SBI hops, and finished trees land in a bounded
+:class:`~repro.obs.trace.TraceStore` under tail-based sampling.
 
 Tracing and monitoring are **zero-cost in simulated time** (spans and
 scrapes only read the clock, never advance it) and near-zero in host
@@ -41,11 +50,21 @@ from repro.obs.export import (
     registry_to_prometheus_text,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.analytics import (
+    critical_path,
+    registration_breakdown_ns,
+    slowest_traces_digest,
+)
 from repro.obs.trace import (
     Span,
     SpanNestingError,
+    TraceStore,
     Tracer,
+    parse_traceparent,
     registration_breakdown,
+    span_from_dict,
+    trace_context_id,
+    traceparent_of,
 )
 from repro.obs.collect import (
     RegistrationTrace,
@@ -84,20 +103,28 @@ __all__ = [
     "Span",
     "SpanNestingError",
     "ThresholdSlo",
+    "TraceStore",
     "Tracer",
     "Tsdb",
     "TsdbSeries",
     "collapsed_text",
     "collect_testbed_metrics",
+    "critical_path",
     "default_slos",
     "fold_registration",
     "parse_collapsed_text",
     "parse_prometheus_text",
+    "parse_traceparent",
     "profile_registration",
     "registration_breakdown",
+    "registration_breakdown_ns",
     "registry_from_dict",
     "registry_to_dict",
     "registry_to_json",
     "registry_to_prometheus_text",
+    "slowest_traces_digest",
+    "span_from_dict",
+    "trace_context_id",
     "trace_registration",
+    "traceparent_of",
 ]

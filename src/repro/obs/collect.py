@@ -90,10 +90,16 @@ def collect_testbed_metrics(
             gnb.registrations_succeeded
         )
         # Adopt the live sojourn series: count/sum reach the Tsdb as
-        # histogram component counters so windowed means are O(1).
-        registry.histogram_from_series(
+        # histogram component counters so windowed means are O(1).  The
+        # gNB's per-bucket exemplar dict rides along (populated only
+        # under a trace-context-armed tracer) so export can emit
+        # OpenMetrics exemplars and alerts can cite trace ids.
+        sojourn = registry.histogram_from_series(
             "gnb_registration_sojourn_ms", gnb.sojourn_ms, gnb=gnb.name
         )
+        exemplars = getattr(gnb, "sojourn_exemplars", None)
+        if exemplars:
+            sojourn.exemplars = exemplars
 
     host = testbed.host
     registry.counter("sim_clock_ns_total", host=host.name).set(host.clock.now_ns)
@@ -144,7 +150,9 @@ def trace_registration(
         if module.runtime.sgx_stats is not None
     }
 
-    tracer = Tracer(host.clock)
+    # Armed with the host seed so the one-shot trace carries the same
+    # deterministic trace/span ids a campaign tracer would mint.
+    tracer = Tracer(host.clock, trace_seed=host.rng.seed)
     host.tracer = tracer
     try:
         outcome = testbed.register(ue, establish_session=establish_session)

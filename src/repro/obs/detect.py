@@ -74,17 +74,25 @@ class DetectorConfig:
 
 @dataclass(frozen=True)
 class Classification:
-    """One per-window verdict with the evidence that produced it."""
+    """One per-window verdict with the evidence that produced it.
+
+    ``exemplar_trace_ids`` cites victim-side traces: trace ids whose
+    sojourn exemplars the legitimate cells recorded inside the verdict
+    window.  Empty on ``none`` verdicts and on runs without a
+    trace-context-armed tracer.
+    """
 
     at_ns: int
     verdict: str
     evidence: Dict[str, float]
+    exemplar_trace_ids: Tuple[str, ...] = ()
 
     def to_dict(self, base_ns: int = 0) -> Dict[str, Any]:
         return {
             "at_s": round((self.at_ns - base_ns) / NS_PER_S, 6),
             "verdict": self.verdict,
             "evidence": {k: round(v, 6) for k, v in sorted(self.evidence.items())},
+            "exemplar_trace_ids": list(self.exemplar_trace_ids),
         }
 
 
@@ -188,7 +196,30 @@ class AttackClassifier:
             verdict = "queueing_collapse"
         else:
             verdict = "none"
-        return Classification(at_ns=at_ns, verdict=verdict, evidence=evidence)
+        exemplar_ids: Tuple[str, ...] = ()
+        if verdict != "none":
+            # Cite victim-side traces: sojourn exemplars the legitimate
+            # cells recorded inside the verdict window (hostile cells'
+            # own traffic is the weapon, not the evidence).
+            prefix = cfg.attack_cell_prefix
+            cited = set()
+            for labels_items, _timeline in tsdb.exemplars_named(
+                "gnb_registration_sojourn_ms"
+            ):
+                labels = dict(labels_items)
+                if labels.get("gnb", "").startswith(prefix):
+                    continue
+                cited.update(
+                    tsdb.exemplars_in_window(
+                        "gnb_registration_sojourn_ms", window_ns, at_ns,
+                        **labels,
+                    )
+                )
+            exemplar_ids = tuple(sorted(cited))
+        return Classification(
+            at_ns=at_ns, verdict=verdict, evidence=evidence,
+            exemplar_trace_ids=exemplar_ids,
+        )
 
     def classify(self, tsdb: Tsdb) -> List[Classification]:
         """One verdict per recorded scrape, replaying the timeline."""

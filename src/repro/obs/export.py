@@ -47,6 +47,15 @@ def registry_to_dict(registry: MetricsRegistry) -> Dict[str, Any]:
                 "min": h.minimum,
                 "max": h.maximum,
                 "window": list(h.series),
+                **(
+                    {
+                        "exemplars": {
+                            le: list(h.exemplars[le]) for le in sorted(h.exemplars)
+                        }
+                    }
+                    if h.exemplars
+                    else {}
+                ),
             }
             for h in registry.histograms()
         ],
@@ -74,6 +83,12 @@ def registry_from_dict(payload: Dict[str, Any]) -> MetricsRegistry:
         histogram = registry.histogram(entry["name"], **entry["labels"])
         for value in entry["window"]:
             histogram.observe(value)
+        exemplars = entry.get("exemplars")
+        if exemplars:
+            histogram.exemplars = {
+                le: (float(ex[0]), str(ex[1]), int(ex[2]))
+                for le, ex in exemplars.items()
+            }
     return registry
 
 
@@ -98,8 +113,18 @@ def _check_name(name: str) -> str:
     return name
 
 
+def _format_exemplar(exemplar: Tuple[float, str, int]) -> str:
+    """OpenMetrics exemplar suffix: `` # {trace_id="..."} value ts``."""
+    value, trace_id, observed_at_ns = exemplar
+    return (
+        f' # {{trace_id="{_escape_label_value(trace_id)}"}} '
+        f"{value} {observed_at_ns / 1e9}"
+    )
+
+
 def registry_to_prometheus_text(registry: MetricsRegistry) -> str:
-    """Prometheus text exposition format (counters, gauges, summaries)."""
+    """Prometheus text exposition format (counters, gauges, summaries),
+    terminated with the OpenMetrics ``# EOF`` marker."""
     lines: List[str] = []
     typed: set = set()
 
@@ -123,13 +148,41 @@ def registry_to_prometheus_text(registry: MetricsRegistry) -> str:
         _type_line(name, "summary")
         lines.append(f"{name}_count{_format_labels(labels)} {histogram.count}")
         lines.append(f"{name}_sum{_format_labels(labels)} {histogram.total}")
+        # OpenMetrics exemplars: histograms with an adopted exemplar map
+        # expose per-bound cumulative buckets, each annotated with the
+        # last traced observation to land in it.  Finite-bucket counts
+        # come from the retained window (the raw samples we still hold);
+        # the +Inf bucket stays the exact all-time count, which keeps the
+        # bucket series monotone (window <= total).
+        exemplars = histogram.exemplars
+        if exemplars:
+            window = list(histogram.series)
+            bounds = sorted(
+                (float("inf") if le == "+Inf" else float(le), le)
+                for le in exemplars
+            )
+            for bound, le in bounds:
+                if le == "+Inf":
+                    continue
+                bucket_count = sum(1 for v in window if v <= bound)
+                bucket_labels = _format_labels(labels, (("le", le),))
+                lines.append(
+                    f"{name}_bucket{bucket_labels} {bucket_count}"
+                    f"{_format_exemplar(exemplars[le])}"
+                )
         # Histogram-style cumulative terminal bucket: every observation
         # is <= +Inf, so the bucket equals the count — downstream tools
         # that compute histogram_quantile() get a well-formed series even
         # for an empty histogram (count 0).
         inf_bucket = (("le", "+Inf"),)
+        inf_exemplar = (
+            _format_exemplar(exemplars["+Inf"])
+            if exemplars and "+Inf" in exemplars
+            else ""
+        )
         lines.append(
-            f"{name}_bucket{_format_labels(labels, inf_bucket)} {histogram.count}"
+            f"{name}_bucket{_format_labels(labels, inf_bucket)} "
+            f"{histogram.count}{inf_exemplar}"
         )
         if histogram.minimum is not None:
             lines.append(f"{name}_min{_format_labels(labels)} {histogram.minimum}")
@@ -139,13 +192,19 @@ def registry_to_prometheus_text(registry: MetricsRegistry) -> str:
                 continue
             quantile = ("quantile", f"{q / 100.0:g}")
             lines.append(f"{name}{_format_labels(labels, (quantile,))} {value}")
+    lines.append("# EOF")
     return "\n".join(lines) + "\n"
 
 
+# Sample lines optionally carry an OpenMetrics exemplar suffix
+# (`` # {trace_id="..."} value [timestamp]``); the parser accepts and
+# discards it — exemplar-aware consumers read the Tsdb, not this text.
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
     r"(?:\{(?P<labels>[^}]*)\})?"
-    r"\s+(?P<value>\S+)$"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+#\s+\{(?P<exemplar>[^}]*)\}\s+(?P<exemplar_value>\S+)"
+    r"(?:\s+(?P<exemplar_ts>\S+))?)?$"
 )
 _LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 

@@ -110,9 +110,17 @@ class Gauge:
 
 
 class Histogram:
-    """Distribution metric over a (possibly adopted) bounded window."""
+    """Distribution metric over a (possibly adopted) bounded window.
 
-    __slots__ = ("name", "labels", "series")
+    ``exemplars`` is an optional adopted mapping of OpenMetrics ``le``
+    label strings to ``(value, trace_id, observed_at_ns)`` — the most
+    recent traced observation to land in each bucket.  Like the series,
+    it is adopted live (the producer owns and mutates it); ``None`` (the
+    default) means the producer records no exemplars and export emits
+    plain bucket lines.
+    """
+
+    __slots__ = ("name", "labels", "series", "exemplars")
 
     def __init__(
         self,
@@ -124,6 +132,7 @@ class Histogram:
         self.name = name
         self.labels = labels
         self.series = series if series is not None else BoundedSeries(cap)
+        self.exemplars: Optional[Dict[str, Tuple[float, str, int]]] = None
 
     def observe(self, value: float) -> None:
         value = float(value)

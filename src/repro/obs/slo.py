@@ -24,7 +24,7 @@ yields bit-identical alerts, including firing/resolve timestamps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs.tsdb import NS_PER_S, Tsdb
@@ -245,17 +245,31 @@ class LivenessSlo:
 
 @dataclass
 class Alert:
-    """One firing of an SLO's burn-rate rule, on simulated time."""
+    """One firing of an SLO's burn-rate rule, on simulated time.
+
+    ``exemplar_trace_ids`` cites the traces behind the page: every trace
+    id whose exemplar landed in the SLO's histogram (same basename +
+    labels) inside the long window while the alert was firing.  Empty
+    unless the run carried a trace-context-armed tracer.
+    """
 
     slo: str
     window: str
     fired_at_ns: int
     resolved_at_ns: Optional[int] = None
     peak_burn: float = 0.0
+    exemplar_trace_ids: List[str] = field(default_factory=list)
 
     @property
     def resolved(self) -> bool:
         return self.resolved_at_ns is not None
+
+    def cite_exemplars(self, trace_ids: Sequence[str]) -> None:
+        """Union-merge cited trace ids, kept sorted and unique."""
+        if trace_ids:
+            self.exemplar_trace_ids = sorted(
+                set(self.exemplar_trace_ids).union(trace_ids)
+            )
 
     def to_dict(self, base_ns: int = 0) -> Dict[str, Any]:
         return {
@@ -269,6 +283,7 @@ class Alert:
                 else round((self.resolved_at_ns - base_ns) / NS_PER_S, 6)
             ),
             "peak_burn": round(self.peak_burn, 6),
+            "exemplar_trace_ids": list(self.exemplar_trace_ids),
         }
 
 
@@ -308,6 +323,18 @@ class SloEngine:
                             alerts.append(alert)
                         elif long_burn > alert.peak_burn:
                             alert.peak_burn = long_burn
+                        # Cite the traces behind the burn: exemplars the
+                        # SLO's own histogram recorded inside the long
+                        # window.  SLOs without a histogram basename
+                        # (ratio/liveness) have nothing to cite.
+                        basename = getattr(slo, "basename", None)
+                        if basename is not None:
+                            alert.cite_exemplars(
+                                tsdb.exemplars_in_window(
+                                    basename, window.long_ns, at_ns,
+                                    **getattr(slo, "labels", {}),
+                                )
+                            )
                     elif alert is not None:
                         alert.resolved_at_ns = at_ns
                         del open_alerts[key]

@@ -28,14 +28,26 @@ Span kinds (the taxonomy):
     rounded cost components ``shield_ns`` / ``copy_ns`` / ``host_ns`` /
     ``transition_ns`` (``rpc_ns`` in exitless mode).
 
+Distributed-trace identity rides on top of the span tree: a tracer armed
+with a ``trace_seed`` stamps every span with a deterministic
+``trace_id`` / ``span_id`` / ``parent_id`` derived clocklessly from
+``(seed, SUPI, attempt)`` — no wall clock, no ``random`` — so the same
+run always mints the same ids.  The HTTP client materialises the W3C
+``traceparent`` header from the open ``sbi.request`` span, and finished
+trees land in a bounded :class:`TraceStore` under deterministic
+tail-based sampling (every failed or deadline-violating trace is kept;
+healthy ones are head-sampled 1/N by trace-id hash).
+
 Tracing never advances the clock — a traced run spends exactly the same
 simulated nanoseconds as an untraced one.
 """
 
 from __future__ import annotations
 
+import re
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Mapping, Optional
+from hashlib import blake2b
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.sim.clock import NS_PER_US, SimClock
 
@@ -49,7 +61,10 @@ class SpanNestingError(RuntimeError):
 class Span:
     """One interval of simulated time in a registration's span tree."""
 
-    __slots__ = ("name", "kind", "start_ns", "end_ns", "tags", "children")
+    __slots__ = (
+        "name", "kind", "start_ns", "end_ns", "tags", "children",
+        "trace_id", "span_id", "parent_id",
+    )
 
     def __init__(self, name: str, kind: str, start_ns: int, **tags: Any) -> None:
         self.name = name
@@ -58,6 +73,9 @@ class Span:
         self.end_ns = start_ns
         self.tags: Dict[str, Any] = tags
         self.children: List["Span"] = []
+        self.trace_id: Optional[str] = None
+        self.span_id: Optional[str] = None
+        self.parent_id: Optional[str] = None
 
     @property
     def ns(self) -> int:
@@ -84,15 +102,26 @@ class Span:
         return None
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready tree form."""
-        return {
+        """JSON-ready tree form.
+
+        Tags are emitted key-sorted so the serialized tree is byte-stable
+        regardless of the tag order at the instrumentation site.  When the
+        span carries trace identity (tracer armed with a ``trace_seed``)
+        the ``trace_id`` / ``span_id`` / ``parent_id`` fields are included.
+        """
+        payload: Dict[str, Any] = {
             "name": self.name,
             "kind": self.kind,
             "start_ns": self.start_ns,
             "end_ns": self.end_ns,
-            "tags": dict(self.tags),
+            "tags": {key: self.tags[key] for key in sorted(self.tags)},
             "children": [child.to_dict() for child in self.children],
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+            payload["span_id"] = self.span_id
+            payload["parent_id"] = self.parent_id
+        return payload
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -118,13 +147,33 @@ class Tracer:
     Hot paths guard with ``tracer is not None and tracer.enabled`` — a
     disabled tracer (or the default ``host.tracer = None``) costs one
     attribute read and one comparison per instrumentation point.
+
+    With ``trace_seed`` set, :meth:`start_trace` opens a deterministic
+    trace context for one registration: every span begun until
+    :meth:`end_trace` is stamped with the context's ``trace_id`` and a
+    sequence-derived ``span_id`` (parent = the enclosing open span).  A
+    ``store`` gives finished trees somewhere to go (see
+    :class:`TraceStore`); offering and recycling is the caller's job.
     """
 
-    def __init__(self, clock: SimClock, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        clock: SimClock,
+        enabled: bool = True,
+        trace_seed: Optional[int] = None,
+        store: Optional["TraceStore"] = None,
+    ) -> None:
         self.clock = clock
         self.enabled = enabled
+        self.trace_seed = trace_seed
+        self.store = store
         self.roots: List[Span] = []
         self._stack: List[Span] = []
+        self._trace_id: Optional[str] = None
+        self._trace_supi: Optional[str] = None
+        self._trace_attempt = 0
+        self._span_seq = 0
+        self._attempts: Dict[str, int] = {}
 
     # ------------------------------------------------------------- spans
 
@@ -145,12 +194,67 @@ class Tracer:
             span.tags = tags
         else:
             span = Span(name, kind, self.clock.now_ns, **tags)
+        trace_id = self._trace_id
+        if trace_id is not None:
+            seq = self._span_seq
+            self._span_seq = seq + 1
+            span.trace_id = trace_id
+            span.span_id = span_context_id(trace_id, seq)
+            span.parent_id = self._stack[-1].span_id if self._stack else None
+        else:
+            span.trace_id = None
+            span.span_id = None
+            span.parent_id = None
         if self._stack:
             self._stack[-1].children.append(span)
         else:
             self.roots.append(span)
         self._stack.append(span)
         return span
+
+    def annotate(self, **tags: Any) -> None:
+        """Tag the innermost open span (no new span, no clock read).
+
+        NF handlers that sit *between* instrumentation points (the AMF's
+        NAS entry is a direct call, not an SBI hop) use this to leave
+        their identity on the span that covers them.
+        """
+        if self._stack:
+            self._stack[-1].tags.update(tags)
+
+    # ----------------------------------------------------- trace context
+
+    @property
+    def current_trace_id(self) -> Optional[str]:
+        return self._trace_id
+
+    def start_trace(self, supi: str) -> Optional[str]:
+        """Open a deterministic trace context for one registration.
+
+        Returns the minted ``trace_id``, or ``None`` when the tracer has
+        no ``trace_seed`` (identity off — plain span trees as before).
+        The id is ``blake2b("trace:{seed}:{supi}:{attempt}")`` where
+        ``attempt`` counts this SUPI's registrations under this tracer —
+        clockless, random-free, reproducible.
+        """
+        if self.trace_seed is None:
+            return None
+        attempt = self._attempts.get(supi, 0) + 1
+        self._attempts[supi] = attempt
+        trace_id = trace_context_id(self.trace_seed, supi, attempt)
+        self._trace_id = trace_id
+        self._trace_supi = supi
+        self._trace_attempt = attempt
+        self._span_seq = 0
+        return trace_id
+
+    def end_trace(self) -> Tuple[Optional[str], Optional[str], int]:
+        """Close the open trace context; returns (trace_id, supi, attempt)."""
+        closed = (self._trace_id, self._trace_supi, self._trace_attempt)
+        self._trace_id = None
+        self._trace_supi = None
+        self._span_seq = 0
+        return closed
 
     def recycle(self, span: Span) -> None:
         """Return ``span`` and its whole subtree to the span freelist.
@@ -218,6 +322,193 @@ def _recycle_tree(span: Span) -> None:
             children.clear()
         if len(pool) < _SPAN_POOL_CAP:
             pool.append(current)
+
+
+# --------------------------------------------------------------------------
+# Deterministic trace identity (W3C trace-context shaped)
+
+
+def trace_context_id(seed: int, supi: str, attempt: int) -> str:
+    """128-bit hex trace id from (seed, SUPI, attempt) — clockless."""
+    return blake2b(
+        f"trace:{seed}:{supi}:{attempt}".encode(), digest_size=16
+    ).hexdigest()
+
+
+def span_context_id(trace_id: str, seq: int) -> str:
+    """64-bit hex span id from (trace_id, begin-order sequence)."""
+    return blake2b(f"{trace_id}:{seq}".encode(), digest_size=8).hexdigest()
+
+
+def traceparent_of(trace_id: str, span_id: str) -> str:
+    """W3C ``traceparent`` header value (version 00, sampled flag set)."""
+    return f"00-{trace_id}-{span_id}-01"
+
+
+_TRACEPARENT_RE = re.compile(r"^00-([0-9a-f]{32})-([0-9a-f]{16})-01$")
+
+
+def parse_traceparent(header: str) -> Optional[Tuple[str, str]]:
+    """``(trace_id, span_id)`` from a ``traceparent`` value, or None."""
+    match = _TRACEPARENT_RE.match(header)
+    if match is None:
+        return None
+    return match.group(1), match.group(2)
+
+
+def span_from_dict(data: Mapping[str, Any]) -> Span:
+    """Rebuild a live :class:`Span` tree from its ``to_dict`` form.
+
+    Stored traces are snapshotted to plain dicts (so the originals can be
+    recycled); this inverts the snapshot so dict trees can flow back into
+    Span-consuming code — :func:`format_span_tree` rendering and the
+    float-µs :func:`registration_breakdown` cross-check.  Round-trip is
+    exact: ``span_from_dict(span.to_dict()).to_dict() == span.to_dict()``.
+    """
+    span = Span(data["name"], data["kind"], int(data["start_ns"]), **data["tags"])
+    span.end_ns = int(data["end_ns"])
+    span.trace_id = data.get("trace_id")
+    span.span_id = data.get("span_id")
+    span.parent_id = data.get("parent_id")
+    span.children = [span_from_dict(child) for child in data["children"]]
+    return span
+
+
+class TraceStore:
+    """Bounded store of finished trace trees with deterministic sampling.
+
+    Tail-based policy: every failed registration and every registration
+    whose sojourn exceeded the deadline is kept (``tail_failed`` /
+    ``tail_deadline``); healthy registrations are head-sampled 1/N by a
+    pure function of the trace id (``int(trace_id[:8], 16) % N == 0``) so
+    the kept set is identical run-to-run and shard-count-independent.
+    When the store overflows ``cap``, the oldest head-sampled record is
+    evicted first (tail records are the valuable ones); with no
+    head-sampled records left, the oldest record overall goes.
+
+    Records are plain JSON-ready dicts so shard workers can ship them
+    across process boundaries and :meth:`absorb` can merge them
+    deterministically (insertion order = offer order = shard order).
+    """
+
+    __slots__ = (
+        "cap", "sample_every", "deadline_ns", "records",
+        "seen", "kept_tail", "kept_head", "evicted",
+    )
+
+    def __init__(
+        self,
+        cap: Optional[int] = 512,
+        sample_every: int = 8,
+        deadline_ms: float = 250.0,
+    ) -> None:
+        self.cap = cap
+        self.sample_every = max(1, int(sample_every))
+        self.deadline_ns = int(deadline_ms * 1_000_000)
+        self.records: Dict[str, Dict[str, Any]] = {}
+        self.seen = 0
+        self.kept_tail = 0
+        self.kept_head = 0
+        self.evicted = 0
+
+    def keep_reason(
+        self, trace_id: str, success: bool, sojourn_ns: int
+    ) -> Optional[str]:
+        if not success:
+            return "tail_failed"
+        if sojourn_ns > self.deadline_ns:
+            return "tail_deadline"
+        if int(trace_id[:8], 16) % self.sample_every == 0:
+            return "head_sample"
+        return None
+
+    def offer(
+        self,
+        root: Span,
+        trace_id: str,
+        supi: str,
+        attempt: int,
+        success: bool,
+        sojourn_ns: int,
+    ) -> bool:
+        """Consider one finished registration tree; True if kept.
+
+        The tree is snapshotted via :meth:`Span.to_dict`, so the caller
+        is free to recycle the spans afterwards.
+        """
+        self.seen += 1
+        reason = self.keep_reason(trace_id, success, sojourn_ns)
+        if reason is None:
+            return False
+        if reason == "head_sample":
+            self.kept_head += 1
+        else:
+            self.kept_tail += 1
+        self.records[trace_id] = {
+            "trace_id": trace_id,
+            "supi": supi,
+            "attempt": attempt,
+            "success": bool(success),
+            "sojourn_ns": int(sojourn_ns),
+            "reason": reason,
+            "start_ns": root.start_ns,
+            "end_ns": root.end_ns,
+            "duration_ns": root.ns,
+            "root": root.to_dict(),
+        }
+        if self.cap is not None:
+            while len(self.records) > self.cap:
+                self._evict_one()
+        return True
+
+    def _evict_one(self) -> None:
+        victim = None
+        for trace_id, record in self.records.items():
+            if record["reason"] == "head_sample":
+                victim = trace_id
+                break
+        if victim is None:
+            victim = next(iter(self.records))
+        del self.records[victim]
+        self.evicted += 1
+
+    def get(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        return self.records.get(trace_id)
+
+    def trace_ids(self) -> List[str]:
+        return list(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot (records in offer order)."""
+        return {
+            "cap": self.cap,
+            "sample_every": self.sample_every,
+            "deadline_ms": self.deadline_ns / 1_000_000,
+            "seen": self.seen,
+            "kept_tail": self.kept_tail,
+            "kept_head": self.kept_head,
+            "evicted": self.evicted,
+            "records": list(self.records.values()),
+        }
+
+    def absorb(self, data: Mapping[str, Any], **extra_fields: Any) -> None:
+        """Merge one worker's :meth:`to_dict` snapshot into this store.
+
+        ``extra_fields`` (e.g. ``shard="3"``) are stamped onto each
+        absorbed record.  Callers absorb shards in index order, so the
+        merged record order is deterministic.
+        """
+        self.seen += int(data.get("seen", 0))
+        self.kept_tail += int(data.get("kept_tail", 0))
+        self.kept_head += int(data.get("kept_head", 0))
+        self.evicted += int(data.get("evicted", 0))
+        for record in data.get("records", ()):
+            merged = dict(record)
+            merged.update(extra_fields)
+            self.records[merged["trace_id"]] = merged
 
 
 def registration_breakdown(

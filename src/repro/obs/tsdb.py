@@ -99,9 +99,20 @@ class TsdbSeries:
 class Tsdb:
     """Ring-buffer store of scraped metric samples on the simulated clock."""
 
+    # Per-series exemplar retention: enough to cover any SLO window at
+    # scrape cadence (entries are deduplicated per bucket, so the list
+    # grows only when a *new* trace lands in a bucket).
+    _EXEMPLAR_CAP = 256
+
     def __init__(self, cap: Optional[int] = None) -> None:
         self.cap = cap
         self._series: Dict[MetricKey, TsdbSeries] = {}
+        # Exemplar timelines keyed like histogram series: (basename,
+        # labels) -> [(observed_at_ns, le, value, trace_id), ...] in
+        # ingest order.  Populated from histograms that carry an adopted
+        # exemplar map; queried by the SLO engine and the detector to
+        # cite trace ids in alert/verdict payloads.
+        self._exemplars: Dict[MetricKey, List[Tuple[int, str, float, str]]] = {}
         # Every ingest timestamp, in order — the SLO engine replays these.
         self.scrape_times: List[int] = []
 
@@ -167,7 +178,40 @@ class Tsdb:
                              "counter", ts_ns, float(histogram.count))
             self._ingest_one(histogram.name + "_sum", histogram.labels,
                              "counter", ts_ns, float(histogram.total))
+            if histogram.exemplars:
+                self._ingest_exemplars(
+                    histogram.name, histogram.labels, histogram.exemplars
+                )
         self.scrape_times.append(ts_ns)
+
+    def _ingest_exemplars(
+        self,
+        basename: str,
+        labels: LabelItems,
+        exemplars: Dict[str, Tuple[float, str, int]],
+    ) -> None:
+        """Fold a histogram's per-bucket exemplars into the timeline.
+
+        An entry is appended only when the bucket's exemplar changed
+        since the previous scrape (new trace id), so a quiet histogram
+        adds nothing per scrape.  Buckets are visited in sorted ``le``
+        order — ingest stays deterministic no matter how the producer
+        populated its dict.
+        """
+        key = (basename, labels)
+        timeline = self._exemplars.get(key)
+        if timeline is None:
+            timeline = self._exemplars[key] = []
+        latest_by_le: Dict[str, str] = {}
+        for observed_at_ns, le, _value, trace_id in timeline:
+            latest_by_le[le] = trace_id
+        for le in sorted(exemplars):
+            value, trace_id, observed_at_ns = exemplars[le]
+            if latest_by_le.get(le) == trace_id:
+                continue
+            timeline.append((int(observed_at_ns), le, float(value), trace_id))
+        if len(timeline) > self._EXEMPLAR_CAP:
+            del timeline[: len(timeline) // 2]
 
     def _ingest_one(
         self, name: str, labels: LabelItems, kind: str, ts_ns: int, value: float
@@ -261,6 +305,36 @@ class Tsdb:
             return None
         return self.increase(basename + "_sum", window_ns, at_ns, **labels) / count
 
+    # ---------------------------------------------------------- exemplars
+
+    def exemplars_in_window(
+        self, basename: str, window_ns: int, at_ns: int, **labels: str
+    ) -> List[str]:
+        """Sorted unique trace ids observed in ``[at_ns - window_ns, at_ns]``.
+
+        ``basename`` is the histogram name the exemplars were ingested
+        under (e.g. ``gnb_registration_sojourn_ms``).
+        """
+        timeline = self._exemplars.get((basename, _label_key(labels)))
+        if not timeline:
+            return []
+        start_ns = at_ns - window_ns
+        return sorted({
+            trace_id
+            for observed_at_ns, _le, _value, trace_id in timeline
+            if start_ns <= observed_at_ns <= at_ns
+        })
+
+    def exemplars_named(
+        self, basename: str
+    ) -> List[Tuple[LabelItems, List[Tuple[int, str, float, str]]]]:
+        """Every exemplar timeline under ``basename``, sorted by labels."""
+        return [
+            (key[1], self._exemplars[key])
+            for key in sorted(self._exemplars)
+            if key[0] == basename
+        ]
+
     # -------------------------------------------------------- merge / load
 
     def absorb(self, data: Dict[str, Any], **extra_labels: str) -> None:
@@ -279,6 +353,15 @@ class Tsdb:
             series = self.series(raw["name"], kind=raw["kind"], **labels)
             for ts_ns, value in raw["samples"]:
                 series.append(int(ts_ns), float(value))
+        for raw in data.get("exemplars", []):
+            labels = dict(raw["labels"])
+            labels.update(extra_labels)
+            key = (raw["name"], _label_key(labels))
+            timeline = self._exemplars.setdefault(key, [])
+            for observed_at_ns, le, value, trace_id in raw["entries"]:
+                timeline.append(
+                    (int(observed_at_ns), str(le), float(value), str(trace_id))
+                )
         self.scrape_times = sorted(
             self.scrape_times + [int(t) for t in data.get("scrape_times", [])]
         )
@@ -294,7 +377,7 @@ class Tsdb:
 
     def to_dict(self) -> Dict[str, Any]:
         """Deterministic, JSON-ready dump (bit-identical per seeded run)."""
-        return {
+        payload: Dict[str, Any] = {
             "cap": self.cap,
             "scrape_times": list(self.scrape_times),
             "series": [
@@ -307,3 +390,17 @@ class Tsdb:
                 for series in self.all_series()
             ],
         }
+        if self._exemplars:
+            payload["exemplars"] = [
+                {
+                    "name": key[0],
+                    "labels": {k: v for k, v in key[1]},
+                    "entries": [
+                        [observed_at_ns, le, value, trace_id]
+                        for observed_at_ns, le, value, trace_id
+                        in self._exemplars[key]
+                    ],
+                }
+                for key in sorted(self._exemplars)
+            ]
+        return payload

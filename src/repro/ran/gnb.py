@@ -11,7 +11,7 @@ core's processing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.fivegc.amf import Amf
 from repro.fivegc.messages import (
@@ -22,6 +22,15 @@ from repro.fivegc.messages import (
 from repro.hw.host import PhysicalHost
 from repro.ran.ue import CommercialUE, UserEquipment
 from repro.sim.metrics import BoundedSeries
+
+# Exemplar bucket bounds for the sojourn histogram, as OpenMetrics ``le``
+# label strings paired with their numeric bound (ms).  One exemplar — the
+# most recent (value, trace_id, observed_at_ns) — is retained per bucket,
+# which is exactly the OpenMetrics exemplar model.
+SOJOURN_EXEMPLAR_BUCKETS_MS: Tuple[Tuple[float, str], ...] = (
+    (50.0, "50"), (100.0, "100"), (250.0, "250"), (500.0, "500"),
+    (1000.0, "1000"), (2500.0, "2500"), (float("inf"), "+Inf"),
+)
 
 
 @dataclass(frozen=True)
@@ -70,6 +79,12 @@ class Gnb:
         # accounting the survivability campaign reports (ROADMAP item 4:
         # a pure-queueing collapse must be visible to the SLO engine).
         self.sojourn_ms = BoundedSeries()
+        # Per-bucket sojourn exemplars: le label -> (value_ms, trace_id,
+        # observed_at_ns).  Populated only while a trace-context-armed
+        # tracer is installed; the collector attaches this dict to the
+        # sojourn histogram so the exporter can emit OpenMetrics
+        # exemplars and the Tsdb can link alerts to trace ids.
+        self.sojourn_exemplars: Dict[str, Tuple[float, str, int]] = {}
 
     # --------------------------------------------------------------- radio
 
@@ -83,6 +98,41 @@ class Gnb:
         self.host.clock.advance_us(
             self.host.rng.jitter(f"gnb.{self.name}.n2", self._N2_LATENCY_US, 0.05)
         )
+
+    # ------------------------------------------------------------- tracing
+
+    def _record_trace(
+        self,
+        tracer: object,
+        root: object,
+        trace_id: str,
+        supi: Optional[str],
+        attempt: int,
+        success: bool,
+        sojourn_ns: int,
+    ) -> None:
+        """Exemplar + TraceStore bookkeeping for one traced registration.
+
+        Runs after the root span closed and the sojourn is known: records
+        the per-bucket exemplar (last trace to land in each bucket) and
+        offers the finished tree to the tracer's store.  A stored tree is
+        snapshotted to dicts, so the spans are recycled immediately —
+        campaign memory stays bounded by the store cap, not the horizon.
+        """
+        value_ms = sojourn_ns / 1e6
+        for bound, le in SOJOURN_EXEMPLAR_BUCKETS_MS:
+            if value_ms <= bound:
+                self.sojourn_exemplars[le] = (
+                    value_ms, trace_id, self.host.clock.now_ns
+                )
+                break
+        store = tracer.store
+        if store is not None:
+            store.offer(
+                root, trace_id, supi=supi, attempt=attempt,
+                success=success, sojourn_ns=sojourn_ns,
+            )
+            tracer.recycle(root)
 
     # -------------------------------------------------------- registration
 
@@ -138,6 +188,15 @@ class Gnb:
         tracer = self.host.tracer
         if tracer is not None and not tracer.enabled:
             tracer = None
+        # Deterministic trace context: minted from (seed, SUPI, attempt)
+        # before the root span opens so every span in this registration
+        # carries the same trace_id.  No-op (returns None) unless the
+        # installed tracer was armed with a trace_seed.
+        trace_id = (
+            tracer.start_trace(str(ue.usim.supi))
+            if tracer is not None else None
+        )
+        trace_ctx = (None, None, 0)
         root = (
             tracer.begin("registration", kind="registration", ue=ue.name)
             if tracer is not None else None
@@ -201,10 +260,20 @@ class Gnb:
                 tracer.end(
                     root, success=ue.registered, nas_exchanges=exchanges
                 )
+            if trace_id is not None:
+                # Close the trace context even on exception paths so a
+                # stale trace_id can never bleed onto unrelated spans.
+                trace_ctx = tracer.end_trace()
 
         if ue.registered:
             self.registrations_succeeded += 1
-        self.sojourn_ms.append((clock.now_ns - arrival_ns) / 1e6)
+        sojourn_ns = clock.now_ns - arrival_ns
+        self.sojourn_ms.append(sojourn_ns / 1e6)
+        if trace_id is not None and root is not None:
+            self._record_trace(
+                tracer, root, trace_id, trace_ctx[1], trace_ctx[2],
+                ue.registered, sojourn_ns,
+            )
         # Continuous monitoring: let an installed scraper sample at the
         # registration boundary (pull-only; after the measure window and
         # all spans closed, so clocks and traces are unaffected).

@@ -99,3 +99,41 @@ def test_monitored_campaign_merges_tsdb_with_shard_labels():
     # Scrape times are pooled and sorted.
     times = result.tsdb.scrape_times
     assert times == sorted(times)
+
+
+def test_traced_campaign_digest_is_byte_identical_across_jobs():
+    """The slowest-traces digest is a pure function of the kept record
+    set: fanning the shards over worker processes must not change a
+    byte of it."""
+    import json
+
+    serial = sharded_campaign(ues=_UES, shards=4, jobs=1, trace_sample=4)
+    fanned = sharded_campaign(ues=_UES, shards=4, jobs=4, trace_sample=4)
+    assert serial.traces_digest is not None
+    assert json.dumps(serial.traces_digest, sort_keys=True) == json.dumps(
+        fanned.traces_digest, sort_keys=True
+    )
+    assert report_to_json(fanned.report) == report_to_json(serial.report)
+
+
+def test_traced_campaign_spends_no_simulated_time():
+    """Golden clocks: arming per-shard tracing must leave every shard's
+    simulated nanosecond count untouched."""
+    plain = sharded_campaign(ues=_UES, shards=2, jobs=1)
+    traced = sharded_campaign(ues=_UES, shards=2, jobs=1, trace_sample=4)
+    for before, after in zip(plain.shard_results, traced.shard_results):
+        assert before["simulated_ns"] == after["simulated_ns"]
+    assert traced.trace_store is not None
+    assert traced.traces_digest["seen"] == _UES
+    # Merged records carry their origin shard.
+    shards = {r["shard"] for r in traced.trace_store.records.values()}
+    assert shards <= {"0", "1"} and shards
+    assert traced.report.derived["traces_seen"] == float(_UES)
+
+
+def test_untraced_campaign_report_has_no_trace_keys():
+    result = sharded_campaign(ues=_UES, shards=2, jobs=1)
+    assert result.trace_store is None
+    assert result.traces_digest is None
+    assert "traces_seen" not in result.report.derived
+    assert all("trace_store" not in r for r in result.shard_results)

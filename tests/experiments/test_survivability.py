@@ -106,3 +106,41 @@ def test_storm_arm_degrades_then_defense_recovers():
     assert defended["legit_success_rate"] > undefended["legit_success_rate"]
     assert defended["shed_total"] > 0
     assert defended["eenter_burn"] < undefended["eenter_burn"]
+
+
+def test_traced_arm_matches_untraced_golden_clock():
+    """Arming distributed tracing must not move the simulated clock or
+    any campaign figure: the traced row minus its ``_trace_*`` extras is
+    the untraced row."""
+    untraced = _run_arm("none", 400.0, **QUICK)
+    traced = _run_arm("none", 400.0, trace_sample=4, **QUICK)
+    extras = {k for k in traced if k.startswith("_") and k != "_sojourns_ms"}
+    assert extras == {"_trace_store", "_alerts", "_module_servers",
+                      "_module_runtimes"}
+    assert {k: v for k, v in traced.items() if k not in extras} == untraced
+
+
+def test_traced_collapse_alerts_cite_stored_exemplar_traces():
+    """The E-TRACE2 acceptance path: a queueing-collapse sojourn alert
+    carries exemplar trace ids, and at least one resolves to a complete
+    tree in the arm's trace store."""
+    row = _run_arm("none", 400.0, legit=12, horizon_s=5.0, seed=29,
+                   trace_sample=8)
+    sojourn_alerts = [
+        alert for alert in row["_alerts"]
+        if alert["slo"].startswith("registration-sojourn")
+    ]
+    assert sojourn_alerts
+    cited = {
+        tid for alert in sojourn_alerts for tid in alert["exemplar_trace_ids"]
+    }
+    assert cited
+    stored = {r["trace_id"] for r in row["_trace_store"]["records"]}
+    resolved = cited & stored
+    assert resolved
+    record = next(
+        r for r in row["_trace_store"]["records"]
+        if r["trace_id"] in resolved
+    )
+    assert record["root"]["kind"] == "registration"
+    assert record["root"]["children"]

@@ -120,3 +120,56 @@ def test_empty_registry_exports():
     registry = MetricsRegistry()
     assert registry_from_dict(registry_to_dict(registry)) is not None
     assert parse_prometheus_text(registry_to_prometheus_text(registry)) == {}
+
+
+def _exemplar_registry() -> MetricsRegistry:
+    registry = _sample_registry()
+    histogram = registry.histogram("http_lf_us", server="eudm-paka-srv-0")
+    histogram.exemplars = {
+        "50": (47.1, "ab" * 16, 1_000_000_000),
+        "+Inf": (50.2, "cd" * 16, 2_000_000_000),
+    }
+    return registry
+
+
+def test_prometheus_text_is_eof_terminated():
+    """OpenMetrics terminator: last line of every exposition, even an
+    empty one."""
+    assert registry_to_prometheus_text(MetricsRegistry()).endswith("# EOF\n")
+    text = registry_to_prometheus_text(_sample_registry())
+    assert text.endswith("# EOF\n")
+    assert text.count("# EOF") == 1
+
+
+def test_exemplar_buckets_export_and_parse_back():
+    """Exemplar-annotated bucket lines parse back: counts survive, the
+    exemplar suffix is accepted and discarded."""
+    registry = _exemplar_registry()
+    text = registry_to_prometheus_text(registry)
+    assert ' # {trace_id="' + "ab" * 16 + '"} 47.1 1.0' in text
+    samples = parse_prometheus_text(text)
+    key = ("http_lf_us_bucket", (("le", "50"), ("server", "eudm-paka-srv-0")))
+    assert samples[key] == 3.0  # 45.9, 47.1, 48.8 <= 50 < 50.2
+    inf_key = (
+        "http_lf_us_bucket", (("le", "+Inf"), ("server", "eudm-paka-srv-0"))
+    )
+    assert samples[inf_key] == 4.0
+
+
+def test_exemplars_survive_the_json_round_trip():
+    registry = _exemplar_registry()
+    rebuilt = registry_from_dict(registry_to_dict(registry))
+    histogram = rebuilt.histogram("http_lf_us", server="eudm-paka-srv-0")
+    assert histogram.exemplars == {
+        "50": (47.1, "ab" * 16, 1_000_000_000),
+        "+Inf": (50.2, "cd" * 16, 2_000_000_000),
+    }
+    assert registry_to_json(rebuilt) == registry_to_json(registry)
+
+
+def test_exemplar_free_registry_dict_shape_is_unchanged():
+    """Histograms without exemplars must serialize exactly as before the
+    exemplar field existed (golden artifacts are byte-compared)."""
+    payload = registry_to_dict(_sample_registry())
+    histogram_entry = payload["histograms"][0]
+    assert "exemplars" not in histogram_entry

@@ -145,3 +145,53 @@ def test_absorb_adds_labels_and_pools_scrape_times():
     assert ab.scrape_times == [5, 10]
     assert ab.get("req_total", shard="0").samples == [(10, 1.0)]
     assert ab.get("req_total", shard="1").samples == [(5, 2.0)]
+
+
+def _exemplar_registry(trace_id: str, at_ns: int) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    histogram = registry.histogram("sojourn_ms", gnb="gnb-0")
+    histogram.observe(42.0)
+    histogram.exemplars = {"50": (42.0, trace_id, at_ns)}
+    return registry
+
+
+def test_exemplars_ingest_dedups_per_bucket():
+    tsdb = Tsdb()
+    tsdb.ingest(_exemplar_registry("a" * 32, 1 * NS_PER_S), 1 * NS_PER_S)
+    # Same trace id again: nothing appended.
+    tsdb.ingest(_exemplar_registry("a" * 32, 2 * NS_PER_S), 2 * NS_PER_S)
+    tsdb.ingest(_exemplar_registry("b" * 32, 3 * NS_PER_S), 3 * NS_PER_S)
+    (labels, timeline), = tsdb.exemplars_named("sojourn_ms")
+    assert labels == (("gnb", "gnb-0"),)
+    assert [(entry[0], entry[3]) for entry in timeline] == [
+        (1 * NS_PER_S, "a" * 32), (3 * NS_PER_S, "b" * 32),
+    ]
+
+
+def test_exemplars_in_window_filters_and_sorts():
+    tsdb = Tsdb()
+    tsdb.ingest(_exemplar_registry("b" * 32, 1 * NS_PER_S), 1 * NS_PER_S)
+    tsdb.ingest(_exemplar_registry("a" * 32, 5 * NS_PER_S), 5 * NS_PER_S)
+    assert tsdb.exemplars_in_window(
+        "sojourn_ms", 10 * NS_PER_S, 6 * NS_PER_S, gnb="gnb-0"
+    ) == ["a" * 32, "b" * 32]
+    assert tsdb.exemplars_in_window(
+        "sojourn_ms", 2 * NS_PER_S, 6 * NS_PER_S, gnb="gnb-0"
+    ) == ["a" * 32]
+    assert tsdb.exemplars_in_window(
+        "sojourn_ms", 10 * NS_PER_S, 6 * NS_PER_S, gnb="other"
+    ) == []
+
+
+def test_exemplars_survive_dump_and_absorb_with_shard_labels():
+    tsdb = Tsdb()
+    tsdb.ingest(_exemplar_registry("a" * 32, 1 * NS_PER_S), 1 * NS_PER_S)
+    dump = tsdb.to_dict()
+    assert "exemplars" in dump
+    merged = Tsdb()
+    merged.absorb(dump, shard="2")
+    (labels, timeline), = merged.exemplars_named("sojourn_ms")
+    assert dict(labels) == {"gnb": "gnb-0", "shard": "2"}
+    assert timeline[0][3] == "a" * 32
+    # Exemplar-free stores dump without the key (golden artifacts).
+    assert "exemplars" not in Tsdb().to_dict()
